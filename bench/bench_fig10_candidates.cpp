@@ -1,0 +1,78 @@
+// Reproduces Fig. 10 (Appendix A): the candidate study for the model that
+// guides iForest training and knowledge distillation. Compares macro F1 of
+// kNN, PCA, conventional iForest, X-means, a VAE, and the Magnifier-style
+// asymmetric autoencoder across all 15 attacks (thresholds tuned on the
+// validation split, as in the paper). Expected shape: Magnifier (and VAE
+// close behind) dominate, justifying Magnifier as iGuard's teacher.
+#include <iostream>
+#include <memory>
+
+#include "eval/report.hpp"
+#include "harness/cpu_lab.hpp"
+#include "ml/autoencoder.hpp"
+#include "ml/knn.hpp"
+#include "ml/pca.hpp"
+#include "ml/vae.hpp"
+#include "ml/xmeans.hpp"
+
+using namespace iguard;
+
+int main() {
+  harness::CpuLab lab{harness::CpuLabConfig{}};
+
+  // Candidates, each fit once on the shared benign training set.
+  std::vector<std::unique_ptr<ml::AnomalyDetector>> models;
+  models.push_back(std::make_unique<ml::KnnDetector>());
+  models.push_back(std::make_unique<ml::PcaDetector>());
+  models.push_back(std::make_unique<ml::IsolationForest>(
+      ml::IsolationForestConfig{.num_trees = 100, .subsample = 256, .contamination = 0.05}));
+  models.push_back(std::make_unique<ml::XMeans>());
+  models.push_back(std::make_unique<ml::Vae>());
+  models.push_back(std::make_unique<ml::Autoencoder>(ml::magnifier_config()));
+
+  ml::Rng rng(7);
+  for (auto& m : models) m->fit(lab.train_x(), rng);
+
+  std::vector<std::string> headers{"attack"};
+  for (const auto& m : models) headers.push_back(m->name());
+  eval::Table table(headers);
+
+  std::vector<double> totals(models.size(), 0.0);
+  std::vector<double> wins(models.size(), 0.0);
+  const auto attacks = traffic::all_attacks();
+  for (const auto atk : attacks) {
+    const auto split = lab.make_attack_split(atk);
+    std::vector<std::string> row{traffic::attack_name(atk)};
+    double best = -1.0;
+    std::size_t best_m = 0;
+    for (std::size_t mi = 0; mi < models.size(); ++mi) {
+      const auto metrics = lab.evaluate_detector(*models[mi], split);
+      row.push_back(eval::Table::num(metrics.macro_f1));
+      totals[mi] += metrics.macro_f1;
+      if (metrics.macro_f1 > best) {
+        best = metrics.macro_f1;
+        best_m = mi;
+      }
+    }
+    wins[best_m] += 1.0;
+    table.add_row(std::move(row));
+  }
+
+  std::vector<std::string> avg{"Average"};
+  for (double t : totals) avg.push_back(eval::Table::num(t / static_cast<double>(attacks.size())));
+  table.add_row(std::move(avg));
+
+  table.print(std::cout, "Fig. 10: teacher-candidate macro F1 across 15 attacks");
+  std::cout << "\nwins per model:";
+  for (std::size_t mi = 0; mi < models.size(); ++mi)
+    std::cout << " " << models[mi]->name() << "=" << wins[mi];
+  std::cout << "\nPaper's result: Magnifier has the best average F1 and wins all but one\n"
+               "attack vs the VAE. KNOWN DEVIATION of this reproduction: on our synthetic\n"
+               "traffic the proximity detectors (kNN, X-means) are stronger than on the\n"
+               "paper's real captures, where benign diversity and distance concentration\n"
+               "penalise them; Magnifier still clearly beats the conventional iForest and\n"
+               "the threshold-free candidates, and remains the teacher iGuard uses (see\n"
+               "EXPERIMENTS.md).\n";
+  table.write_csv("fig10_candidates.csv");
+  return 0;
+}

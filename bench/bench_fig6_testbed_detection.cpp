@@ -1,0 +1,52 @@
+// Reproduces Fig. 6 (5 headline attacks) and Fig. 9 (10 further attacks):
+// per-packet detection performance on the switch testbed. Both systems are
+// compiled to whitelist rules and replayed through the data-plane pipeline
+// simulator under its constraints — 13 integer FL features truncated at
+// (n, delta), 4 PL features for early packets, bi-hash double hash tables
+// with collisions, and the blacklist/controller loop. Model selection uses
+// the §4.2.1 reward (alpha = 0.5) balancing detection and memory footprint.
+//
+// Paper's shape: iGuard > iForest by 5-48% F1, 2-55.7% ROCAUC, 26-70% PRAUC,
+// and testbed numbers sit below the CPU numbers of Fig. 5 (fewer features,
+// integer math, truncation).
+#include <iostream>
+
+#include "eval/report.hpp"
+#include "harness/testbed_lab.hpp"
+
+using namespace iguard;
+
+int main() {
+  harness::TestbedLab lab{harness::TestbedLabConfig{}};
+
+  eval::Table table({"attack", "model", "macro F1", "ROC AUC", "PR AUC", "FL rules"});
+  double f1_lo = 1e9, f1_hi = -1e9, roc_lo = 1e9, roc_hi = -1e9, pr_lo = 1e9, pr_hi = -1e9;
+
+  for (const auto atk : traffic::all_attacks()) {
+    const auto out = lab.run_attack(atk);
+    const std::string name = traffic::attack_name(atk);
+    table.add_row({name, "iForest", eval::Table::num(out.iforest.macro_f1),
+                   eval::Table::num(out.iforest.roc_auc), eval::Table::num(out.iforest.pr_auc),
+                   std::to_string(out.iforest_fl_rules)});
+    table.add_row({name, "iGuard", eval::Table::num(out.iguard.macro_f1),
+                   eval::Table::num(out.iguard.roc_auc), eval::Table::num(out.iguard.pr_auc),
+                   std::to_string(out.iguard_fl_rules)});
+    f1_lo = std::min(f1_lo, 100.0 * (out.iguard.macro_f1 - out.iforest.macro_f1));
+    f1_hi = std::max(f1_hi, 100.0 * (out.iguard.macro_f1 - out.iforest.macro_f1));
+    roc_lo = std::min(roc_lo, 100.0 * (out.iguard.roc_auc - out.iforest.roc_auc));
+    roc_hi = std::max(roc_hi, 100.0 * (out.iguard.roc_auc - out.iforest.roc_auc));
+    pr_lo = std::min(pr_lo, 100.0 * (out.iguard.pr_auc - out.iforest.pr_auc));
+    pr_hi = std::max(pr_hi, 100.0 * (out.iguard.pr_auc - out.iforest.pr_auc));
+  }
+
+  table.print(std::cout, "Fig. 6 + Fig. 9: testbed per-packet detection, 15 attacks");
+  std::cout << "\niGuard vs iForest gains (percentage points):\n"
+            << "  macro F1: " << eval::Table::num(f1_lo, 1) << " .. " << eval::Table::num(f1_hi, 1)
+            << "   (paper: 5 .. 48.3)\n"
+            << "  ROC AUC:  " << eval::Table::num(roc_lo, 1) << " .. "
+            << eval::Table::num(roc_hi, 1) << "   (paper: 2 .. 55.7)\n"
+            << "  PR AUC:   " << eval::Table::num(pr_lo, 1) << " .. " << eval::Table::num(pr_hi, 1)
+            << "   (paper: 26 .. 70)\n";
+  table.write_csv("fig6_fig9_testbed_detection.csv");
+  return 0;
+}

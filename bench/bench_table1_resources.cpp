@@ -1,0 +1,64 @@
+// Reproduces Table 1: average switch resource consumption across all 15
+// attacks for iGuard vs the previous iForest data-plane implementation.
+// Both systems compile to whitelist rules through the same range->ternary
+// machinery and share the same stateful-storage pipeline, so SRAM/sALU/VLIW
+// and stage usage are near-identical; the comparison that matters is TCAM,
+// where iGuard's extra stopping criterion (skewed nodes stop growing) means
+// fewer, coarser leaves and fewer expanded ternary entries.
+//
+// Paper reference (avg across 15 attacks):
+//          TCAM    SRAM    sALUs   VLIWs  Stages
+// iForest  16.47%  11.55%  19.59%  7.75%  12
+// iGuard   13.34%  11.51%  19.62%  7.79%  12
+#include <iostream>
+
+#include "eval/report.hpp"
+#include "harness/testbed_lab.hpp"
+
+using namespace iguard;
+
+int main() {
+  harness::TestbedLab lab{harness::TestbedLabConfig{}};
+
+  switchsim::ResourceUsage ig_sum{}, if_sum{};
+  std::size_t ig_stages = 0, if_stages = 0;
+  std::size_t n = 0;
+  eval::Table per_attack({"attack", "iGuard TCAM", "iForest TCAM", "iGuard rules",
+                          "iForest rules"});
+
+  for (const auto atk : traffic::all_attacks()) {
+    const auto out = lab.run_attack(atk);
+    ig_sum.tcam_frac += out.iguard_res.tcam_frac;
+    ig_sum.sram_frac += out.iguard_res.sram_frac;
+    ig_sum.salu_frac += out.iguard_res.salu_frac;
+    ig_sum.vliw_frac += out.iguard_res.vliw_frac;
+    ig_stages = std::max(ig_stages, out.iguard_res.stages);
+    if_sum.tcam_frac += out.iforest_res.tcam_frac;
+    if_sum.sram_frac += out.iforest_res.sram_frac;
+    if_sum.salu_frac += out.iforest_res.salu_frac;
+    if_sum.vliw_frac += out.iforest_res.vliw_frac;
+    if_stages = std::max(if_stages, out.iforest_res.stages);
+    ++n;
+    per_attack.add_row({traffic::attack_name(atk), eval::Table::pct(out.iguard_res.tcam_frac),
+                        eval::Table::pct(out.iforest_res.tcam_frac),
+                        std::to_string(out.iguard_fl_rules),
+                        std::to_string(out.iforest_fl_rules)});
+  }
+  const double inv = 1.0 / static_cast<double>(n);
+
+  per_attack.print(std::cout, "Per-attack TCAM and rule counts");
+
+  eval::Table table({"system", "TCAM", "SRAM", "sALUs", "VLIWs", "Stages"});
+  table.add_row({"iForest [15]", eval::Table::pct(if_sum.tcam_frac * inv),
+                 eval::Table::pct(if_sum.sram_frac * inv), eval::Table::pct(if_sum.salu_frac * inv),
+                 eval::Table::pct(if_sum.vliw_frac * inv), std::to_string(if_stages)});
+  table.add_row({"iGuard", eval::Table::pct(ig_sum.tcam_frac * inv),
+                 eval::Table::pct(ig_sum.sram_frac * inv), eval::Table::pct(ig_sum.salu_frac * inv),
+                 eval::Table::pct(ig_sum.vliw_frac * inv), std::to_string(ig_stages)});
+  std::cout << "\n";
+  table.print(std::cout, "Table 1: average switch resource consumption (15 attacks)");
+  std::cout << "\nShape to match: iGuard TCAM < iForest TCAM; all other columns ~equal;\n"
+               "both systems fit the 12-stage pipeline.\n";
+  table.write_csv("table1_resources.csv");
+  return 0;
+}

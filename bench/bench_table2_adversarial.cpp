@@ -1,0 +1,73 @@
+// Reproduces Table 2: black-box adversarial robustness on the switch
+// testbed — (a) low-rate floods (UDP/TCP DDoS throttled to 1/100 of their
+// rate, hiding the volumetric signature) and (b) training-set poisoning
+// (Mirai flows slipped unlabeled into 2% / 10% of the benign capture).
+// Metrics are per-packet macro F1 / ROC AUC / PR AUC from the pipeline
+// replay. Paper's shape: iGuard stays far ahead of the iForest baseline
+// (improvements of roughly 22-57 points).
+#include <iostream>
+
+#include "eval/report.hpp"
+#include "harness/testbed_lab.hpp"
+#include "trafficgen/adversarial.hpp"
+
+using namespace iguard;
+
+namespace {
+
+// Low-rate attack trace: the flood's specs throttled by `factor`.
+traffic::Trace low_rate_trace(traffic::AttackType type, std::size_t flows, double factor,
+                              std::uint64_t seed) {
+  traffic::AttackConfig acfg;
+  acfg.flows = flows;
+  acfg.horizon = 600.0;
+  ml::Rng rng(seed);
+  auto specs = traffic::attack_flows(type, acfg, rng);
+  traffic::apply_low_rate(specs, factor);
+  return traffic::emit_packets(specs, rng);
+}
+
+std::string fmt(const eval::DetectionMetrics& m) {
+  return eval::Table::pct(m.macro_f1) + "/" + eval::Table::pct(m.roc_auc) + "/" +
+         eval::Table::pct(m.pr_auc);
+}
+
+}  // namespace
+
+int main() {
+  eval::Table table({"scenario", "iForest [15] (F1/ROC/PR)", "iGuard (F1/ROC/PR)"});
+
+  // --- low-rate floods (clean training) -----------------------------------
+  {
+    harness::TestbedLab lab{harness::TestbedLabConfig{}};
+    for (auto type : {traffic::AttackType::kUdpDdos, traffic::AttackType::kTcpDdos}) {
+      const auto val = low_rate_trace(type, lab.config().attack_flows, 100.0,
+                                      lab.config().seed ^ 0x10DDu);
+      const auto test =
+          low_rate_trace(type, lab.config().attack_flows, 100.0, lab.config().seed ^ 0xBEEF);
+      const auto out = lab.run_with_traces(val, test);
+      table.add_row({"Low rate (" + traffic::attack_name(type) + " 1/100)",
+                     fmt(out.iforest), fmt(out.iguard)});
+    }
+  }
+
+  // --- poisoning (Mirai 2% / 10%) ------------------------------------------
+  for (double frac : {0.02, 0.10}) {
+    harness::TestbedLabConfig cfg;
+    cfg.poison_fraction = frac;
+    cfg.poison_type = traffic::AttackType::kMirai;
+    harness::TestbedLab lab{cfg};
+    const auto out = lab.run_attack(traffic::AttackType::kMirai);
+    table.add_row({"Poison (Mirai " + eval::Table::pct(frac, 0) + ")", fmt(out.iforest),
+                   fmt(out.iguard)});
+  }
+
+  table.print(std::cout, "Table 2: black-box low-rate and poison adversarial attacks");
+  std::cout << "\nPaper reference rows:\n"
+               "  Low rate (UDPDDoS 1/100): iForest 43.43/44.42/14.92  iGuard 65.92/66.67/59.01\n"
+               "  Low rate (TCPDDoS 1/100): iForest 57.43/57.50/23.80  iGuard 88.84/89.12/70.93\n"
+               "  Poison (Mirai 2%):        iForest 28.52/29.56/14.78  iGuard 65.75/61.56/30.54\n"
+               "  Poison (Mirai 10%):       iForest 15.55/18.56/6.24   iGuard 65.21/61.50/30.06\n";
+  table.write_csv("table2_adversarial.csv");
+  return 0;
+}

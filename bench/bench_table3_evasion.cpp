@@ -1,0 +1,51 @@
+// Reproduces Table 3: black-box evasion attacks on the switch testbed. The
+// attacker interleaves benign-mimicking chaff packets with the real flood
+// packets (1 real : r chaff), diluting every flow-level statistic toward
+// benign. Per-packet metrics from the pipeline replay. Paper's shape:
+// iGuard remains strong (70-100% F1) while the iForest baseline collapses
+// (improvements of roughly 30-80 points).
+#include <iostream>
+
+#include "eval/report.hpp"
+#include "harness/testbed_lab.hpp"
+#include "trafficgen/adversarial.hpp"
+
+using namespace iguard;
+
+namespace {
+std::string fmt(const eval::DetectionMetrics& m) {
+  return eval::Table::pct(m.macro_f1) + "/" + eval::Table::pct(m.roc_auc) + "/" +
+         eval::Table::pct(m.pr_auc);
+}
+}  // namespace
+
+int main() {
+  harness::TestbedLab lab{harness::TestbedLabConfig{}};
+  eval::Table table({"scenario", "iForest [15] (F1/ROC/PR)", "iGuard (F1/ROC/PR)"});
+
+  for (std::size_t chaff : {2u, 4u}) {
+    for (auto type : {traffic::AttackType::kUdpDdos, traffic::AttackType::kTcpDdos}) {
+      traffic::AttackConfig acfg;
+      acfg.flows = lab.config().attack_flows;
+      traffic::EvasionConfig ev;
+      ev.chaff_per_packet = chaff;
+      ml::Rng r1(lab.config().seed ^ (0xE5A5u + chaff));
+      ml::Rng r2(lab.config().seed ^ (0x35A5u + chaff));
+      const auto val = traffic::evasion_trace(type, acfg, ev, r1);
+      const auto test = traffic::evasion_trace(type, acfg, ev, r2);
+      const auto out = lab.run_with_traces(val, test);
+      table.add_row({"Evasion (" + traffic::attack_name(type) + " 1:" + std::to_string(chaff) +
+                         ")",
+                     fmt(out.iforest), fmt(out.iguard)});
+    }
+  }
+
+  table.print(std::cout, "Table 3: black-box evasion adversarial attacks");
+  std::cout << "\nPaper reference rows:\n"
+               "  Evasion (UDPDDoS 1:2): iForest 33.33/34.45/20.51  iGuard 72.23/78.85/70.51\n"
+               "  Evasion (TCPDDoS 1:2): iForest 38.83/39.68/20.00  iGuard 100/100/100\n"
+               "  Evasion (UDPDDoS 1:4): iForest 40.52/41.11/28.87  iGuard 72.12/77.55/68.82\n"
+               "  Evasion (TCPDDoS 1:4): iForest 42.26/42.62/19.20  iGuard 87.23/81.43/68.39\n";
+  table.write_csv("table3_evasion.csv");
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "core/ae_ensemble.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace iguard::core {
+
+void AeEnsemble::fit(const ml::Matrix& benign, const AeEnsembleConfig& cfg, ml::Rng& rng) {
+  if (cfg.ensemble_size == 0) throw std::invalid_argument("AeEnsemble: r must be >= 1");
+  aes_.clear();
+  thresholds_.clear();
+  for (std::size_t u = 0; u < cfg.ensemble_size; ++u) {
+    auto ae = std::make_unique<ml::Autoencoder>(cfg.base);
+    ml::Rng child = rng.fork();
+    ae->fit(benign, child);
+    thresholds_.push_back(ae->threshold() * cfg.threshold_scale);
+    aes_.push_back(std::move(ae));
+  }
+  weights_.assign(aes_.size(), 1.0 / static_cast<double>(aes_.size()));
+}
+
+double AeEnsemble::reconstruction_error(std::size_t u, std::span<const double> x) const {
+  return aes_.at(u)->reconstruction_error(x);
+}
+
+int AeEnsemble::predict(std::span<const double> x) const {
+  double vote = 0.0;
+  for (std::size_t u = 0; u < aes_.size(); ++u) {
+    if (reconstruction_error(u, x) > thresholds_[u]) vote += weights_[u];
+  }
+  return vote > 0.5 ? 1 : 0;
+}
+
+int AeEnsemble::vote_from_errors(std::span<const double> per_member_errors) const {
+  if (per_member_errors.size() != aes_.size()) {
+    throw std::invalid_argument("vote_from_errors: size mismatch");
+  }
+  double vote = 0.0;
+  for (std::size_t u = 0; u < aes_.size(); ++u) {
+    if (per_member_errors[u] > thresholds_[u]) vote += weights_[u];
+  }
+  return vote > 0.5 ? 1 : 0;
+}
+
+void AeEnsemble::set_weights(std::vector<double> w) {
+  if (w.size() != aes_.size()) throw std::invalid_argument("set_weights: size mismatch");
+  const double sum = std::accumulate(w.begin(), w.end(), 0.0);
+  if (std::abs(sum - 1.0) > 1e-6) throw std::invalid_argument("set_weights: must sum to 1");
+  weights_ = std::move(w);
+}
+
+}  // namespace iguard::core

@@ -1,0 +1,96 @@
+// iGuard's novel iForest (§3.2): trees are grown by *information gain*
+// against labels supplied by a trained autoencoder ensemble, instead of
+// random (feature, value) cuts.
+//
+// Node expansion (§3.2.1): at every node, augment the node's samples with k
+// synthetic points drawn from the node's feature box (normal around the box
+// midpoint, sd = quartile range), label X_decision = X_node U X_aug with the
+// AE ensemble, then choose the split (q*, p*) maximising entropy loss
+// (Eqs. 1-4). Stopping (any of): |X_node| <= 1, height >= ceil(log2 Psi),
+// or min/max AE-class ratio < tau_split (node already pure enough).
+//
+// Knowledge distillation (§3.2.2): route the training set through every
+// tree, augment each leaf with k box samples, embed the expected per-member
+// reconstruction error (Eq. 5) and threshold-vote it into a 0/1 leaf label
+// (Eq. 6). Inference is a majority vote of leaf labels across the t trees.
+#pragma once
+
+#include <vector>
+
+#include "core/ae_ensemble.hpp"
+#include "ml/matrix.hpp"
+#include "ml/rng.hpp"
+
+namespace iguard::core {
+
+struct GuidedForestConfig {
+  std::size_t num_trees = 5;      // t
+  std::size_t subsample = 1024;   // Psi (also sets the height cap log2(Psi))
+  std::size_t augment = 192;      // k, per node / per leaf
+  double tau_split = 1e-2;        // sample-split stopping threshold
+  /// Split-candidate cap per feature (quantile-spaced over X_decision);
+  /// bounds the (q, p) search the paper describes as exhaustive.
+  std::size_t candidates_per_feature = 16;
+  /// Benign leaf hypercubes are the leaf samples' bounding boxes inflated by
+  /// this fraction of their span per side (generalisation slack); a point in
+  /// a benign leaf's *cell* but outside its *box* is off the benign support
+  /// and votes malicious — whitelist semantics (Fig. 3c).
+  double box_margin = 0.10;
+};
+
+struct GuidedNode {
+  int feature = -1;         // -1 => leaf
+  double threshold = 0.0;   // split: go left iff x[feature] < threshold
+  int left = -1;
+  int right = -1;
+  int depth = 0;
+  int label = 0;            // leaf label, set by distillation
+  std::size_t train_count = 0;  // training samples that reached this node
+  /// Expected reconstruction error per AE member (Eq. 5), leaves only;
+  /// retained for diagnostics and the score() soft output.
+  std::vector<double> leaf_re;
+  /// Benign support hypercube of this leaf (leaves only): the routed
+  /// training samples' bounding box + margin, clipped to the leaf cell.
+  std::vector<double> box_lo, box_hi;
+};
+
+struct GuidedTree {
+  std::vector<GuidedNode> nodes;
+
+  int leaf_index(std::span<const double> x) const;
+  std::size_t leaf_count() const;
+
+  /// Tree vote for x: the leaf's label, except that a point outside a
+  /// benign leaf's support box votes malicious (whitelist semantics).
+  int vote(std::span<const double> x) const;
+};
+
+class GuidedIsolationForest {
+ public:
+  explicit GuidedIsolationForest(GuidedForestConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Train trees (teacher-guided growth) and distil leaf labels. `train` is
+  /// the (nominally benign) training set; the teacher tells the trees where
+  /// inside and around it malicious structure lives.
+  void fit(const ml::Matrix& train, const AeEnsemble& teacher, ml::Rng& rng);
+
+  /// Majority vote across trees: 1 = malicious (strict majority).
+  int predict(std::span<const double> x) const;
+  /// Fraction of trees voting malicious — a soft score in [0,1] for AUC
+  /// computation (the hardware deployment only uses the 0/1 vote).
+  double vote_fraction(std::span<const double> x) const;
+
+  const std::vector<GuidedTree>& trees() const { return trees_; }
+  const GuidedForestConfig& config() const { return cfg_; }
+
+  /// Per-feature box of the training data (rule compilation needs it).
+  const std::vector<double>& feature_min() const { return feat_min_; }
+  const std::vector<double>& feature_max() const { return feat_max_; }
+
+ private:
+  GuidedForestConfig cfg_;
+  std::vector<GuidedTree> trees_;
+  std::vector<double> feat_min_, feat_max_;
+};
+
+}  // namespace iguard::core

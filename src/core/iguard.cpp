@@ -1,0 +1,49 @@
+#include "core/iguard.hpp"
+
+namespace iguard::core {
+
+void IGuard::fit(const ml::Matrix& benign_fl, const ml::Matrix& benign_pl, ml::Rng& rng) {
+  owned_teacher_.emplace();
+  owned_teacher_->fit(benign_fl, cfg_.teacher, rng);
+  fit_with_teacher(benign_fl, benign_pl, *owned_teacher_, rng);
+}
+
+void IGuard::fit_with_teacher(const ml::Matrix& benign_fl, const ml::Matrix& benign_pl,
+                              const AeEnsemble& teacher, ml::Rng& rng) {
+  // Drop a previously owned teacher when an external one is supplied.
+  if (!owned_teacher_.has_value() || &teacher != &*owned_teacher_) owned_teacher_.reset();
+  teacher_ = &teacher;
+
+  forest_ = GuidedIsolationForest(cfg_.forest);
+  forest_.fit(benign_fl, teacher, rng);
+
+  quantizer_ = rules::Quantizer(cfg_.quantizer_bits);
+  quantizer_.fit(benign_fl);
+  WhitelistConfig wcfg = cfg_.whitelist;
+  if (wcfg.clip.empty()) wcfg.clip = support_clip(benign_fl, quantizer_, 0.0);
+  whitelist_ = compile_per_tree(forest_, quantizer_, wcfg);
+
+  pl_ = PlModel(cfg_.pl);
+  if (benign_pl.rows() > 0) pl_.fit(benign_pl, rng);
+}
+
+int IGuard::predict_flow(std::span<const double> fl) const {
+  const auto key = quantizer_.quantize(fl);
+  return whitelist_.classify(key);
+}
+
+int IGuard::predict_packet(std::span<const double> pl) const {
+  if (!pl_.fitted()) return 0;  // no PL model: never block early packets
+  return pl_.classify(pl);
+}
+
+double IGuard::consistency(const ml::Matrix& samples) const {
+  if (samples.rows() == 0) return 1.0;
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < samples.rows(); ++i) {
+    agree += predict_flow(samples.row(i)) == predict_flow_model(samples.row(i)) ? 1 : 0;
+  }
+  return static_cast<double>(agree) / static_cast<double>(samples.rows());
+}
+
+}  // namespace iguard::core

@@ -1,0 +1,72 @@
+// Public façade of the iGuard system (Fig. 1's control-plane pipeline):
+// train the autoencoder teacher on benign flow features, grow the guided
+// iForest, distil leaf labels, compile whitelist rules, and (optionally)
+// train the early-packet PL model. Offers both inference views:
+//   * model view  — the distilled forest's majority vote (the CPU
+//     experiments of §4.1), with a soft vote fraction for AUC curves;
+//   * deployed view — quantised feature key matched against the compiled
+//     whitelist rule table (what actually runs in the switch, §4.2).
+#pragma once
+
+#include <optional>
+
+#include "core/ae_ensemble.hpp"
+#include "core/guided_iforest.hpp"
+#include "core/pl_model.hpp"
+#include "core/whitelist.hpp"
+#include "rules/rule_table.hpp"
+
+namespace iguard::core {
+
+struct IGuardConfig {
+  AeEnsembleConfig teacher{};
+  GuidedForestConfig forest{};
+  unsigned quantizer_bits = 16;
+  WhitelistConfig whitelist{};
+  PlModelConfig pl{};
+};
+
+class IGuard {
+ public:
+  explicit IGuard(IGuardConfig cfg = {}) : cfg_(std::move(cfg)) {}
+
+  /// Full training pipeline on benign flow-level features. `benign_pl` may
+  /// be empty to skip the early-packet model (CPU experiments don't use it).
+  void fit(const ml::Matrix& benign_fl, const ml::Matrix& benign_pl, ml::Rng& rng);
+
+  /// Reuse an externally trained teacher (lets experiments share one AE
+  /// ensemble across grid-search points — the expensive part).
+  void fit_with_teacher(const ml::Matrix& benign_fl, const ml::Matrix& benign_pl,
+                        const AeEnsemble& teacher, ml::Rng& rng);
+
+  // --- model view ---
+  int predict_flow_model(std::span<const double> fl) const { return forest_.predict(fl); }
+  double vote_fraction(std::span<const double> fl) const { return forest_.vote_fraction(fl); }
+
+  // --- deployed (rules) view: per-tree vote tables ---
+  int predict_flow(std::span<const double> fl) const;
+  int predict_packet(std::span<const double> pl) const;
+
+  /// Consistency C of §3.2.3: fraction of samples where the whitelist rules
+  /// and the distilled forest agree.
+  double consistency(const ml::Matrix& samples) const;
+
+  const AeEnsemble& teacher() const { return *teacher_; }
+  const GuidedIsolationForest& forest() const { return forest_; }
+  const rules::Quantizer& quantizer() const { return quantizer_; }
+  const VoteWhitelist& whitelist() const { return whitelist_; }
+  const PlModel& pl_model() const { return pl_; }
+  bool has_pl_model() const { return pl_.fitted(); }
+  const IGuardConfig& config() const { return cfg_; }
+
+ private:
+  IGuardConfig cfg_;
+  std::optional<AeEnsemble> owned_teacher_;
+  const AeEnsemble* teacher_ = nullptr;
+  GuidedIsolationForest forest_{GuidedForestConfig{}};
+  rules::Quantizer quantizer_;
+  VoteWhitelist whitelist_;
+  PlModel pl_{PlModelConfig{}};
+};
+
+}  // namespace iguard::core

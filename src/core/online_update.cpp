@@ -1,0 +1,66 @@
+#include "core/online_update.hpp"
+
+#include <limits>
+
+namespace iguard::core {
+
+namespace {
+
+// Distance of v to the closed interval [lo, hi] in levels (0 if inside).
+std::uint64_t gap(std::uint32_t v, const rules::FieldRange& f) {
+  if (v < f.lo) return f.lo - v;
+  if (v > f.hi) return v - f.hi;
+  return 0;
+}
+
+}  // namespace
+
+std::size_t WhitelistUpdater::observe_benign(std::span<const std::uint32_t> key) {
+  ++keys_seen_;
+  std::size_t extended = 0;
+  bool all_covered = true;
+
+  for (auto& table : wl_->tables) {
+    if (table.match(key).has_value()) continue;
+    all_covered = false;
+    if (extensions_ >= cfg_.max_updates) continue;
+
+    // Nearest rule by total gap, admissible only if every per-field gap
+    // fits the extension budget.
+    std::size_t best = table.size();
+    std::uint64_t best_total = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t r = 0; r < table.size(); ++r) {
+      const auto& rule = table.rules()[r];
+      std::uint64_t total = 0;
+      bool admissible = true;
+      for (std::size_t j = 0; j < key.size() && admissible; ++j) {
+        const std::uint64_t g = gap(key[j], rule.fields[j]);
+        admissible = g <= cfg_.max_extension_per_field;
+        total += g;
+      }
+      if (admissible && total < best_total) {
+        best_total = total;
+        best = r;
+      }
+    }
+    if (best == table.size()) continue;  // nothing close enough: leave table
+
+    // Stretch the chosen rule in place (RuleTable keeps priority order;
+    // field mutation does not change priorities).
+    rules::RangeRule updated = table.rules()[best];
+    for (std::size_t j = 0; j < key.size(); ++j) {
+      if (key[j] < updated.fields[j].lo) updated.fields[j].lo = key[j];
+      if (key[j] > updated.fields[j].hi) updated.fields[j].hi = key[j];
+    }
+    auto rules = table.rules();
+    rules[best] = updated;
+    table.set_rules(std::move(rules));
+    ++extensions_;
+    ++extended;
+  }
+
+  if (all_covered) ++fully_covered_;
+  return extended;
+}
+
+}  // namespace iguard::core

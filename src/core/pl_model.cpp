@@ -1,0 +1,20 @@
+#include "core/pl_model.hpp"
+
+namespace iguard::core {
+
+void PlModel::fit(const ml::Matrix& benign_pl, ml::Rng& rng) {
+  forest_ = ml::IsolationForest(cfg_.forest);
+  forest_.fit(benign_pl, rng);
+  quantizer_ = rules::Quantizer(cfg_.quantizer_bits);
+  quantizer_.fit(benign_pl);
+  WhitelistConfig wcfg = cfg_.whitelist;
+  if (cfg_.clip_to_support) wcfg.clip = support_clip(benign_pl, quantizer_, cfg_.support_trim);
+  whitelist_ = compile_per_tree(forest_, quantizer_, wcfg);
+}
+
+int PlModel::classify(std::span<const double> pl_features) const {
+  const auto key = quantizer_.quantize(pl_features);
+  return whitelist_.classify(key);
+}
+
+}  // namespace iguard::core

@@ -1,0 +1,50 @@
+// Early-packet protection (§3.3.1, "Early packets are ignored"): flow-level
+// features only become reliable after n packets, so a *conventional* iForest
+// is trained on the packet-level (PL) features of flows' first packets
+// {dst_port, proto, length, TTL}, compiled to whitelist rules through the
+// same path-length machinery, and those rules guard packets 1..n-1 (the
+// brown path of Fig. 4) until the FL verdict is available.
+#pragma once
+
+#include "core/whitelist.hpp"
+#include "ml/iforest.hpp"
+#include "rules/quantize.hpp"
+#include "rules/rule_table.hpp"
+
+namespace iguard::core {
+
+struct PlModelConfig {
+  ml::IsolationForestConfig forest{.num_trees = 5, .subsample = 32, .contamination = 0.04};
+  unsigned quantizer_bits = 16;
+  WhitelistConfig whitelist{};
+  /// Clip compiled rules to the benign training support (a whitelist must
+  /// not admit, say, destination ports no benign flow ever used). The trim
+  /// makes the 4-dim PL support robust to training-set poisoning (Table 2).
+  bool clip_to_support = true;
+  double support_trim = 0.02;
+};
+
+class PlModel {
+ public:
+  explicit PlModel(PlModelConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Train on benign early-packet PL feature rows and compile rules.
+  void fit(const ml::Matrix& benign_pl, ml::Rng& rng);
+
+  bool fitted() const { return quantizer_.fitted(); }
+
+  /// Whitelist verdict on one packet's PL features: 0 benign, 1 malicious.
+  int classify(std::span<const double> pl_features) const;
+
+  const VoteWhitelist& whitelist() const { return whitelist_; }
+  const rules::Quantizer& quantizer() const { return quantizer_; }
+  const ml::IsolationForest& forest() const { return forest_; }
+
+ private:
+  PlModelConfig cfg_;
+  ml::IsolationForest forest_{ml::IsolationForestConfig{}};
+  rules::Quantizer quantizer_;
+  VoteWhitelist whitelist_;
+};
+
+}  // namespace iguard::core

@@ -1,0 +1,46 @@
+// Tiny grid-search helper used by the experiment harnesses: evaluate a
+// scoring callable over a candidate list and keep the argmax. The paper
+// grid-searches (t, Psi, contamination) for iForest and (t, Psi, k, T) for
+// iGuard on the validation split.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace iguard::eval {
+
+template <typename Config>
+struct GridOutcome {
+  Config best{};
+  double best_score = 0.0;
+  std::vector<std::pair<Config, double>> all;  // every candidate with score
+};
+
+/// `score_fn(cfg) -> double`, higher is better. Throws on empty candidates.
+template <typename Config, typename ScoreFn>
+GridOutcome<Config> grid_search(std::span<const Config> candidates, ScoreFn&& score_fn) {
+  if (candidates.empty()) throw std::invalid_argument("grid_search: no candidates");
+  GridOutcome<Config> out;
+  bool first = true;
+  for (const auto& cfg : candidates) {
+    const double s = score_fn(cfg);
+    out.all.emplace_back(cfg, s);
+    if (first || s > out.best_score) {
+      out.best = cfg;
+      out.best_score = s;
+      first = false;
+    }
+  }
+  return out;
+}
+
+/// The paper's §4.2.1 deployment reward balancing detection quality against
+/// switch memory footprint rho (fraction of total resources), alpha = 0.5.
+inline double deployment_reward(double f1, double pr_auc, double roc_auc, double rho,
+                                double alpha = 0.5) {
+  return alpha / 3.0 * (f1 + pr_auc + roc_auc) + (1.0 - alpha) * (1.0 - rho);
+}
+
+}  // namespace iguard::eval

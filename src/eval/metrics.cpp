@@ -1,0 +1,145 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace iguard::eval {
+
+double Confusion::accuracy() const {
+  const std::size_t t = total();
+  return t == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(t);
+}
+
+Confusion confusion(std::span<const int> truth, std::span<const int> pred) {
+  if (truth.size() != pred.size()) throw std::invalid_argument("confusion: size mismatch");
+  Confusion c;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == 1) {
+      (pred[i] == 1 ? c.tp : c.fn) += 1;
+    } else {
+      (pred[i] == 1 ? c.fp : c.tn) += 1;
+    }
+  }
+  return c;
+}
+
+double f1_for_class(const Confusion& c, int positive_class) {
+  // For class 0, swap the roles so "positives" are the zeros.
+  const double tp = static_cast<double>(positive_class == 1 ? c.tp : c.tn);
+  const double fp = static_cast<double>(positive_class == 1 ? c.fp : c.fn);
+  const double fn = static_cast<double>(positive_class == 1 ? c.fn : c.fp);
+  const double denom = 2.0 * tp + fp + fn;
+  return denom > 0.0 ? 2.0 * tp / denom : 0.0;
+}
+
+double macro_f1(std::span<const int> truth, std::span<const int> pred) {
+  const Confusion c = confusion(truth, pred);
+  return 0.5 * (f1_for_class(c, 0) + f1_for_class(c, 1));
+}
+
+double roc_auc(std::span<const int> truth, std::span<const double> score) {
+  if (truth.size() != score.size()) throw std::invalid_argument("roc_auc: size mismatch");
+  const std::size_t n = truth.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return score[a] < score[b]; });
+
+  double pos_rank_sum = 0.0;
+  std::size_t pos = 0, neg = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j < n && score[order[j]] == score[order[i]]) ++j;
+    const double mid_rank = 0.5 * static_cast<double>(i + j + 1);  // 1-based mid-rank
+    for (std::size_t k = i; k < j; ++k) {
+      if (truth[order[k]] == 1) {
+        pos_rank_sum += mid_rank;
+        ++pos;
+      } else {
+        ++neg;
+      }
+    }
+    i = j;
+  }
+  if (pos == 0 || neg == 0) return 0.5;
+  const double u = pos_rank_sum - static_cast<double>(pos) * (static_cast<double>(pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(pos) * static_cast<double>(neg));
+}
+
+double pr_auc(std::span<const int> truth, std::span<const double> score) {
+  if (truth.size() != score.size()) throw std::invalid_argument("pr_auc: size mismatch");
+  const std::size_t n = truth.size();
+  const std::size_t total_pos =
+      static_cast<std::size_t>(std::count(truth.begin(), truth.end(), 1));
+  if (total_pos == 0) return 0.0;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return score[a] > score[b]; });
+
+  // Average precision, processing ties as one block.
+  double ap = 0.0;
+  std::size_t tp = 0, seen = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    std::size_t block_pos = 0;
+    while (j < n && score[order[j]] == score[order[i]]) {
+      block_pos += static_cast<std::size_t>(truth[order[j]] == 1);
+      ++j;
+    }
+    tp += block_pos;
+    seen = j;
+    const double precision = static_cast<double>(tp) / static_cast<double>(seen);
+    ap += precision * static_cast<double>(block_pos) / static_cast<double>(total_pos);
+    i = j;
+  }
+  return ap;
+}
+
+DetectionMetrics evaluate(std::span<const int> truth, std::span<const int> pred,
+                          std::span<const double> score) {
+  DetectionMetrics m;
+  m.macro_f1 = macro_f1(truth, pred);
+  m.roc_auc = roc_auc(truth, score);
+  m.pr_auc = pr_auc(truth, score);
+  return m;
+}
+
+double best_f1_threshold(std::span<const int> truth, std::span<const double> score) {
+  if (truth.size() != score.size() || truth.empty()) {
+    throw std::invalid_argument("best_f1_threshold: bad input");
+  }
+  // Sweep thresholds at midpoints between consecutive distinct scores.
+  std::vector<double> s(score.begin(), score.end());
+  std::sort(s.begin(), s.end());
+  s.erase(std::unique(s.begin(), s.end()), s.end());
+
+  std::vector<int> pred(truth.size());
+  double best_thr = s.front() - 1.0;
+  double best = -1.0;
+  auto try_thr = [&](double thr) {
+    for (std::size_t i = 0; i < truth.size(); ++i) pred[i] = score[i] > thr ? 1 : 0;
+    const double f1 = macro_f1(truth, pred);
+    if (f1 > best) {
+      best = f1;
+      best_thr = thr;
+    }
+  };
+  try_thr(s.front() - 1.0);  // everything positive
+  for (std::size_t i = 0; i + 1 < s.size(); ++i) try_thr(0.5 * (s[i] + s[i + 1]));
+  try_thr(s.back() + 1.0);  // everything negative
+  return best_thr;
+}
+
+DetectionMetrics evaluate_scores(std::span<const int> truth, std::span<const double> score,
+                                 double thr) {
+  std::vector<int> pred(truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) pred[i] = score[i] > thr ? 1 : 0;
+  return evaluate(truth, pred, score);
+}
+
+}  // namespace iguard::eval

@@ -1,0 +1,52 @@
+// Detection metrics used throughout the paper's evaluation: macro F1 over
+// hard labels, and ROC AUC / PR AUC over soft scores (higher score = more
+// anomalous). ROC AUC uses the Mann-Whitney rank formulation with mid-rank
+// tie handling; PR AUC is average precision (step-wise integral).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace iguard::eval {
+
+struct Confusion {
+  std::size_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  std::size_t total() const { return tp + fp + tn + fn; }
+  double accuracy() const;
+};
+
+Confusion confusion(std::span<const int> truth, std::span<const int> pred);
+
+/// Per-class F1 for the given positive class (0 or 1).
+double f1_for_class(const Confusion& c, int positive_class);
+/// Macro F1: mean of the two per-class F1 scores.
+double macro_f1(std::span<const int> truth, std::span<const int> pred);
+
+/// Mann-Whitney ROC AUC (0.5 for constant scores).
+double roc_auc(std::span<const int> truth, std::span<const double> score);
+
+/// Average precision (PR AUC). Returns the positive prevalence when scores
+/// are uninformative; 0 when there are no positives.
+double pr_auc(std::span<const int> truth, std::span<const double> score);
+
+struct DetectionMetrics {
+  double macro_f1 = 0.0;
+  double roc_auc = 0.0;
+  double pr_auc = 0.0;
+};
+
+/// Bundle: hard metrics from `pred`, soft metrics from `score`.
+DetectionMetrics evaluate(std::span<const int> truth, std::span<const int> pred,
+                          std::span<const double> score);
+
+/// Threshold scores at `thr` (score > thr => 1) and evaluate.
+DetectionMetrics evaluate_scores(std::span<const int> truth, std::span<const double> score,
+                                 double thr);
+
+/// Threshold (score > thr => positive) maximising macro F1 on a labelled
+/// validation set — the calibration the paper performs by grid search.
+double best_f1_threshold(std::span<const int> truth, std::span<const double> score);
+
+}  // namespace iguard::eval

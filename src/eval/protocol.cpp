@@ -1,0 +1,62 @@
+#include "eval/protocol.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace iguard::eval {
+
+namespace {
+// attack_count such that attack_count = f * (base + attack_count).
+std::size_t attack_count_for(std::size_t base, double fraction) {
+  if (fraction <= 0.0 || fraction >= 1.0) return 0;
+  return static_cast<std::size_t>(fraction / (1.0 - fraction) * static_cast<double>(base));
+}
+}  // namespace
+
+SplitData make_split(const ml::Matrix& benign, const ml::Matrix& attack,
+                     const ProtocolConfig& cfg, ml::Rng& rng) {
+  if (benign.rows() < 10) throw std::invalid_argument("make_split: too little benign data");
+
+  auto bidx = rng.sample_without_replacement(benign.rows(), benign.rows());  // shuffle
+  const std::size_t n_test =
+      static_cast<std::size_t>(cfg.benign_test_fraction * static_cast<double>(benign.rows()));
+  const std::size_t n_rest = benign.rows() - n_test;
+  const std::size_t n_val = static_cast<std::size_t>(cfg.val_fraction * static_cast<double>(n_rest));
+  const std::size_t n_train = n_rest - n_val;
+
+  SplitData out;
+  out.train_x = benign.gather({bidx.data(), n_train});
+  out.val_x = benign.gather({bidx.data() + n_train, n_val});
+  out.test_x = benign.gather({bidx.data() + n_train + n_val, n_test});
+  out.val_y.assign(out.val_x.rows(), 0);
+  out.test_y.assign(out.test_x.rows(), 0);
+
+  // Disjoint attack portions for validation and test.
+  auto aidx = rng.sample_without_replacement(attack.rows(), attack.rows());
+  std::size_t a_val = attack_count_for(n_val, cfg.attack_fraction);
+  std::size_t a_test = attack_count_for(n_test, cfg.attack_fraction);
+  if (a_val + a_test > attack.rows()) {
+    // Not enough attack rows: scale both portions down proportionally.
+    const double scale = static_cast<double>(attack.rows()) /
+                         static_cast<double>(std::max<std::size_t>(a_val + a_test, 1));
+    a_val = static_cast<std::size_t>(static_cast<double>(a_val) * scale);
+    a_test = attack.rows() - a_val;
+  }
+  for (std::size_t i = 0; i < a_val; ++i) {
+    out.val_x.push_row(attack.row(aidx[i]));
+    out.val_y.push_back(1);
+  }
+  for (std::size_t i = 0; i < a_test; ++i) {
+    out.test_x.push_row(attack.row(aidx[a_val + i]));
+    out.test_y.push_back(1);
+  }
+  return out;
+}
+
+void poison_training(SplitData& split, const ml::Matrix& poison_rows) {
+  for (std::size_t i = 0; i < poison_rows.rows(); ++i) {
+    split.train_x.push_row(poison_rows.row(i));
+  }
+}
+
+}  // namespace iguard::eval

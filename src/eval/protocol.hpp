@@ -1,0 +1,40 @@
+// The paper's data protocol (§4): benign data is split into train and test
+// (per HorusEye); the training part is further split train/validation 4:1;
+// validation and test each receive 20% attack traffic (one attack at a
+// time). The best hyperparameter configuration is chosen on validation and
+// final numbers are reported on test.
+#pragma once
+
+#include <vector>
+
+#include "ml/matrix.hpp"
+#include "ml/rng.hpp"
+
+namespace iguard::eval {
+
+struct ProtocolConfig {
+  double benign_test_fraction = 0.30;  // benign -> test
+  double val_fraction = 0.20;          // remaining benign -> validation (4:1)
+  /// Attack rows added to val/test, as a fraction of that set's total size
+  /// (the paper's "20% attack traffic").
+  double attack_fraction = 0.20;
+};
+
+struct SplitData {
+  ml::Matrix train_x;  // benign-only training pool (unlabeled by assumption)
+  ml::Matrix val_x;
+  std::vector<int> val_y;
+  ml::Matrix test_x;
+  std::vector<int> test_y;
+};
+
+/// Assemble a split from benign and attack feature matrices. Benign rows are
+/// shuffled and partitioned disjointly; attack rows are likewise disjoint
+/// between validation and test.
+SplitData make_split(const ml::Matrix& benign, const ml::Matrix& attack,
+                     const ProtocolConfig& cfg, ml::Rng& rng);
+
+/// Append extra rows to the training pool (training-set poisoning).
+void poison_training(SplitData& split, const ml::Matrix& poison_rows);
+
+}  // namespace iguard::eval

@@ -1,0 +1,31 @@
+// Plain-text table and CSV reporting for the benchmark harnesses, so every
+// bench binary prints the same rows/series the paper's tables and figures
+// report and optionally persists them for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace iguard::eval {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: format doubles to the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string pct(double v, int precision = 2);  // 0.1234 -> "12.34%"
+
+  void print(std::ostream& os, const std::string& title = "") const;
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace iguard::eval

@@ -1,0 +1,174 @@
+#include "features/flow_features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace iguard::features {
+
+std::size_t feature_count(FeatureSet set) {
+  return set == FeatureSet::kSwitch13 ? kSwitchFeatureCount : kCpuFeatureCount;
+}
+
+std::vector<std::string_view> feature_names(FeatureSet set) {
+  std::vector<std::string_view> names = {
+      "pkt_count",  "total_size", "mean_size", "std_size", "var_size",
+      "min_size",   "max_size",   "mean_ipd",  "min_ipd",  "var_ipd",
+      "std_ipd",    "max_ipd",    "duration"};
+  if (set == FeatureSet::kCpuExtended) {
+    names.insert(names.end(),
+                 {"size_p25", "size_p75", "ipd_p25", "ipd_p75", "dst_port", "proto"});
+  }
+  return names;
+}
+
+std::vector<std::string_view> packet_feature_names() {
+  return {"dst_port", "proto", "length", "ttl"};
+}
+
+void FlowStats::add(const traffic::Packet& p, bool keep_samples) {
+  const double size = static_cast<double>(p.length);
+  if (count == 0) {
+    first_ts = p.ts;
+    min_size = max_size = size;
+    dst_port = p.ft.dst_port;
+    proto = p.ft.proto;
+  } else {
+    const double ipd = std::max(0.0, p.ts - last_ts);
+    if (count == 1) {
+      min_ipd = max_ipd = ipd;
+    } else {
+      min_ipd = std::min(min_ipd, ipd);
+      max_ipd = std::max(max_ipd, ipd);
+    }
+    sum_ipd += ipd;
+    sum_sq_ipd += ipd * ipd;
+    if (keep_samples) ipds.push_back(ipd);
+    min_size = std::min(min_size, size);
+    max_size = std::max(max_size, size);
+  }
+  total_size += size;
+  sum_sq_size += size * size;
+  if (keep_samples) sizes.push_back(size);
+  last_ts = p.ts;
+  malicious = malicious || p.malicious;
+  ++count;
+}
+
+namespace {
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+}  // namespace
+
+std::vector<double> finalize_features(const FlowStats& st, FeatureSet set) {
+  const double n = static_cast<double>(st.count);
+  const double mean_size = st.count > 0 ? st.total_size / n : 0.0;
+  const double var_size =
+      st.count > 0 ? std::max(0.0, st.sum_sq_size / n - mean_size * mean_size) : 0.0;
+  const double gaps = static_cast<double>(st.count > 1 ? st.count - 1 : 1);
+  const double mean_ipd = st.count > 1 ? st.sum_ipd / gaps : 0.0;
+  const double var_ipd =
+      st.count > 1 ? std::max(0.0, st.sum_sq_ipd / gaps - mean_ipd * mean_ipd) : 0.0;
+  const double duration = st.last_ts - st.first_ts;
+
+  std::vector<double> f = {n,
+                           st.total_size,
+                           mean_size,
+                           std::sqrt(var_size),
+                           var_size,
+                           st.min_size,
+                           st.max_size,
+                           mean_ipd,
+                           st.count > 1 ? st.min_ipd : 0.0,
+                           var_ipd,
+                           std::sqrt(var_ipd),
+                           st.count > 1 ? st.max_ipd : 0.0,
+                           duration};
+  if (set == FeatureSet::kCpuExtended) {
+    f.push_back(percentile(st.sizes, 0.25));
+    f.push_back(percentile(st.sizes, 0.75));
+    f.push_back(percentile(st.ipds, 0.25));
+    f.push_back(percentile(st.ipds, 0.75));
+    f.push_back(static_cast<double>(st.dst_port));
+    f.push_back(static_cast<double>(st.proto));
+  }
+  return f;
+}
+
+FlowDataset extract_flows(const traffic::Trace& trace, const ExtractorConfig& cfg) {
+  const bool keep_samples = cfg.set == FeatureSet::kCpuExtended;
+  // Exact bidirectional keying: canonicalised tuple -> running stats.
+  struct KeyHash {
+    std::size_t operator()(const traffic::FiveTuple& ft) const {
+      return static_cast<std::size_t>(traffic::bihash(ft));
+    }
+  };
+  struct KeyEq {
+    bool operator()(const traffic::FiveTuple& a, const traffic::FiveTuple& b) const {
+      return a == b || a == b.reversed();
+    }
+  };
+  std::unordered_map<traffic::FiveTuple, FlowStats, KeyHash, KeyEq> table;
+
+  FlowDataset out;
+  out.x = ml::Matrix(0, feature_count(cfg.set));
+  auto emit = [&](const FlowStats& st) {
+    if (st.count < cfg.min_packets) return;
+    out.x.push_row(finalize_features(st, cfg.set));
+    out.labels.push_back(st.malicious ? 1 : 0);
+  };
+
+  for (const auto& p : trace.packets) {
+    auto& st = table[p.ft];
+    if (cfg.idle_timeout > 0.0 && st.count > 0 && p.ts - st.last_ts > cfg.idle_timeout) {
+      emit(st);
+      st = FlowStats{};
+    }
+    st.add(p, keep_samples);
+    if (cfg.packet_threshold > 0 && st.count >= cfg.packet_threshold) {
+      emit(st);
+      st = FlowStats{};
+    }
+  }
+  for (const auto& [ft, st] : table) emit(st);
+  return out;
+}
+
+FlowDataset extract_packet_features(const traffic::Trace& trace, std::size_t early_packets) {
+  struct KeyHash {
+    std::size_t operator()(const traffic::FiveTuple& ft) const {
+      return static_cast<std::size_t>(traffic::bihash(ft));
+    }
+  };
+  struct KeyEq {
+    bool operator()(const traffic::FiveTuple& a, const traffic::FiveTuple& b) const {
+      return a == b || a == b.reversed();
+    }
+  };
+  std::unordered_map<traffic::FiveTuple, std::size_t, KeyHash, KeyEq> seen;
+
+  FlowDataset out;
+  out.x = ml::Matrix(0, kPacketFeatureCount);
+  for (const auto& p : trace.packets) {
+    std::size_t& n = seen[p.ft];
+    if (n < early_packets) {
+      const double row[kPacketFeatureCount] = {
+          static_cast<double>(p.ft.dst_port), static_cast<double>(p.ft.proto),
+          static_cast<double>(p.length), static_cast<double>(p.ttl)};
+      out.x.push_row(row);
+      out.labels.push_back(p.malicious ? 1 : 0);
+    }
+    ++n;
+  }
+  return out;
+}
+
+}  // namespace iguard::features

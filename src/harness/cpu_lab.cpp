@@ -1,0 +1,171 @@
+#include "harness/cpu_lab.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "eval/protocol.hpp"
+#include "trafficgen/benign.hpp"
+
+namespace iguard::harness {
+
+CpuLab::CpuLab(CpuLabConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {
+  traffic::BenignConfig bcfg;
+  bcfg.flows = cfg_.benign_flows;
+  const traffic::Trace benign = traffic::benign_trace(bcfg, rng_);
+
+  features::ExtractorConfig fcfg;
+  fcfg.set = cfg_.feature_set;
+  const auto ds = features::extract_flows(benign, fcfg);
+
+  // Benign-only split: train / val / test (fixed for every attack).
+  auto idx = rng_.sample_without_replacement(ds.x.rows(), ds.x.rows());
+  const std::size_t n_test =
+      static_cast<std::size_t>(cfg_.benign_test_fraction * static_cast<double>(ds.x.rows()));
+  const std::size_t n_rest = ds.x.rows() - n_test;
+  const std::size_t n_val =
+      static_cast<std::size_t>(cfg_.val_fraction * static_cast<double>(n_rest));
+  const std::size_t n_train = n_rest - n_val;
+  train_x_ = ds.x.gather({idx.data(), n_train});
+  val_benign_ = ds.x.gather({idx.data() + n_train, n_val});
+  test_benign_ = ds.x.gather({idx.data() + n_train + n_val, n_test});
+
+  // Benign-only models, shared across attacks.
+  teacher_.fit(train_x_, cfg_.teacher, rng_);
+  iforest_ = ml::IsolationForest(cfg_.iforest);
+  iforest_.fit(train_x_, rng_);
+}
+
+ml::Matrix CpuLab::attack_features(traffic::AttackType type) const {
+  traffic::AttackConfig acfg;
+  acfg.flows = cfg_.attack_flows;
+  // Derive a per-attack deterministic seed so every attack's traffic is
+  // reproducible independent of call order.
+  ml::Rng arng(cfg_.seed ^ (0x9E37u + 131u * static_cast<std::uint64_t>(type)));
+  const traffic::Trace t = traffic::attack_trace(type, acfg, arng);
+  features::ExtractorConfig fcfg;
+  fcfg.set = cfg_.feature_set;
+  return features::extract_flows(t, fcfg).x;
+}
+
+AttackSplit CpuLab::make_attack_split(traffic::AttackType type) const {
+  return make_attack_split(type, attack_features(type));
+}
+
+AttackSplit CpuLab::make_attack_split(traffic::AttackType type,
+                                      const ml::Matrix& attack_rows) const {
+  AttackSplit s;
+  s.type = type;
+  s.val_x = val_benign_;
+  s.test_x = test_benign_;
+  s.val_y.assign(val_benign_.rows(), 0);
+  s.test_y.assign(test_benign_.rows(), 0);
+
+  const double f = cfg_.attack_fraction;
+  auto count_for = [f](std::size_t base) {
+    return static_cast<std::size_t>(f / (1.0 - f) * static_cast<double>(base));
+  };
+  std::size_t a_val = count_for(val_benign_.rows());
+  std::size_t a_test = count_for(test_benign_.rows());
+  ml::Rng arng(cfg_.seed ^ (0x51C6u + 977u * static_cast<std::uint64_t>(type)));
+  auto aidx = arng.sample_without_replacement(attack_rows.rows(), attack_rows.rows());
+  if (a_val + a_test > aidx.size()) {
+    const double scale =
+        static_cast<double>(aidx.size()) / static_cast<double>(a_val + a_test);
+    a_val = static_cast<std::size_t>(static_cast<double>(a_val) * scale);
+    a_test = aidx.size() - a_val;
+  }
+  for (std::size_t i = 0; i < a_val; ++i) {
+    s.val_x.push_row(attack_rows.row(aidx[i]));
+    s.val_y.push_back(1);
+  }
+  for (std::size_t i = 0; i < a_test; ++i) {
+    s.test_x.push_row(attack_rows.row(aidx[a_val + i]));
+    s.test_y.push_back(1);
+  }
+  return s;
+}
+
+eval::DetectionMetrics CpuLab::evaluate_detector(ml::AnomalyDetector& det,
+                                                 const AttackSplit& split) const {
+  std::vector<double> val_scores(split.val_x.rows());
+  for (std::size_t i = 0; i < split.val_x.rows(); ++i)
+    val_scores[i] = det.score(split.val_x.row(i));
+  det.set_threshold(eval::best_f1_threshold(split.val_y, val_scores));
+
+  std::vector<double> scores(split.test_x.rows());
+  std::vector<int> pred(split.test_x.rows());
+  for (std::size_t i = 0; i < split.test_x.rows(); ++i) {
+    scores[i] = det.score(split.test_x.row(i));
+    pred[i] = scores[i] > det.threshold() ? 1 : 0;
+  }
+  return eval::evaluate(split.test_y, pred, scores);
+}
+
+std::vector<double> CpuLab::calibrate_teacher(const AttackSplit& split) const {
+  std::vector<double> base(teacher_.size());
+  std::vector<double> s(split.val_x.rows());
+  for (std::size_t u = 0; u < teacher_.size(); ++u) {
+    for (std::size_t i = 0; i < split.val_x.rows(); ++i)
+      s[i] = teacher_.reconstruction_error(u, split.val_x.row(i));
+    base[u] = eval::best_f1_threshold(split.val_y, s);
+  }
+  return base;
+}
+
+eval::DetectionMetrics CpuLab::evaluate_teacher(const AttackSplit& split,
+                                                std::span<const double> base_t) const {
+  for (std::size_t u = 0; u < teacher_.size(); ++u)
+    teacher_.set_member_threshold(u, base_t[u]);
+  std::vector<double> scores(split.test_x.rows());
+  std::vector<int> pred(split.test_x.rows());
+  for (std::size_t i = 0; i < split.test_x.rows(); ++i) {
+    scores[i] = teacher_.reconstruction_error(0, split.test_x.row(i));
+    pred[i] = teacher_.predict(split.test_x.row(i));
+  }
+  return eval::evaluate(split.test_y, pred, scores);
+}
+
+IGuardOutcome CpuLab::train_iguard(const AttackSplit& split,
+                                   std::span<const double> base_t) const {
+  IGuardOutcome out;
+  core::IGuardConfig gcfg;
+  gcfg.teacher = cfg_.teacher;
+  gcfg.forest = cfg_.forest;
+
+  double best_val = -1.0;
+  for (double scale : cfg_.scale_grid) {
+    for (std::size_t u = 0; u < teacher_.size(); ++u)
+      teacher_.set_member_threshold(u, base_t[u] * scale);
+    auto cand = std::make_unique<core::IGuard>(gcfg);
+    ml::Rng crng(cfg_.seed ^ 0x16A11u ^ static_cast<std::uint64_t>(scale * 1000.0));
+    cand->fit_with_teacher(train_x_, ml::Matrix{}, teacher_, crng);
+    std::vector<int> vp(split.val_x.rows());
+    for (std::size_t i = 0; i < split.val_x.rows(); ++i)
+      vp[i] = cand->predict_flow_model(split.val_x.row(i));
+    const double f1 = eval::macro_f1(split.val_y, vp);
+    if (f1 > best_val) {
+      best_val = f1;
+      out.scale = scale;
+      out.guard = std::move(cand);
+    }
+  }
+  // Restore calibrated thresholds on the shared teacher.
+  for (std::size_t u = 0; u < teacher_.size(); ++u)
+    teacher_.set_member_threshold(u, base_t[u]);
+
+  // Test metrics: model (soft = vote fraction) and deployed rules.
+  std::vector<double> sc(split.test_x.rows());
+  std::vector<int> pm(split.test_x.rows()), pr(split.test_x.rows());
+  for (std::size_t i = 0; i < split.test_x.rows(); ++i) {
+    sc[i] = out.guard->vote_fraction(split.test_x.row(i));
+    pm[i] = out.guard->predict_flow_model(split.test_x.row(i));
+    pr[i] = out.guard->predict_flow(split.test_x.row(i));
+  }
+  out.model = eval::evaluate(split.test_y, pm, sc);
+  std::vector<double> rs(pr.begin(), pr.end());
+  out.rules = eval::evaluate(split.test_y, pr, rs);
+  out.consistency = out.guard->consistency(split.test_x);
+  return out;
+}
+
+}  // namespace iguard::harness

@@ -1,0 +1,101 @@
+// Shared experiment harness for the paper's CPU experiments (§4.1, Figs. 2,
+// 5, 7, 8, 10 and the adversarial Tables 2-3). One CpuLab owns the benign
+// data and the benign-only-trained models (which are attack-independent);
+// per-attack splits add 20% attack traffic to validation/test, calibrate
+// decision thresholds on validation, and train/select iGuard per attack —
+// the paper's protocol (§4).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/iguard.hpp"
+#include "eval/metrics.hpp"
+#include "features/flow_features.hpp"
+#include "ml/detector.hpp"
+#include "ml/iforest.hpp"
+#include "trafficgen/attacks.hpp"
+
+namespace iguard::harness {
+
+struct CpuLabConfig {
+  std::size_t benign_flows = 3000;
+  std::size_t attack_flows = 600;
+  features::FeatureSet feature_set = features::FeatureSet::kCpuExtended;
+  double benign_test_fraction = 0.30;
+  double val_fraction = 0.20;
+  double attack_fraction = 0.20;  // attack share of val/test sets
+  core::AeEnsembleConfig teacher{};
+  ml::IsolationForestConfig iforest{.num_trees = 100, .subsample = 256, .contamination = 0.05};
+  core::GuidedForestConfig forest{};
+  /// The paper's "T" grid: multipliers on the validation-calibrated T_u.
+  std::vector<double> scale_grid{0.9, 1.1, 1.3, 1.5};
+  std::uint64_t seed = 2024;
+};
+
+/// Per-attack evaluation split (benign portions shared across attacks).
+struct AttackSplit {
+  traffic::AttackType type{};
+  ml::Matrix val_x, test_x;
+  std::vector<int> val_y, test_y;
+};
+
+/// Result of training + selecting iGuard for one attack.
+struct IGuardOutcome {
+  std::unique_ptr<core::IGuard> guard;
+  double scale = 1.0;                  // selected T multiplier
+  eval::DetectionMetrics model;        // distilled-forest majority vote
+  eval::DetectionMetrics rules;        // deployed whitelist-rule verdicts
+  double consistency = 1.0;            // §3.2.3 C on the test set
+};
+
+class CpuLab {
+ public:
+  explicit CpuLab(CpuLabConfig cfg);
+
+  const ml::Matrix& train_x() const { return train_x_; }
+  const core::AeEnsemble& teacher() const { return teacher_; }
+  /// Mutable teacher access (thresholds are per-attack state by design).
+  core::AeEnsemble& mutable_teacher() const { return teacher_; }
+  const CpuLabConfig& config() const { return cfg_; }
+
+  /// Build the val/test split for one attack (benign parts fixed).
+  AttackSplit make_attack_split(traffic::AttackType type) const;
+  /// Same but with caller-supplied attack feature rows (adversarial
+  /// variants, Tables 2-3).
+  AttackSplit make_attack_split(traffic::AttackType type, const ml::Matrix& attack_rows) const;
+
+  /// Attack feature matrix with this lab's extractor settings.
+  ml::Matrix attack_features(traffic::AttackType type) const;
+
+  /// Calibrate `det`'s threshold on the split's validation set and evaluate
+  /// on its test set. `det` must already be fit on benign training data.
+  eval::DetectionMetrics evaluate_detector(ml::AnomalyDetector& det,
+                                           const AttackSplit& split) const;
+
+  /// Per-member calibrated thresholds T_u for this attack (scale 1.0).
+  std::vector<double> calibrate_teacher(const AttackSplit& split) const;
+  /// Teacher ensemble metrics at calibrated thresholds (the Magnifier rows
+  /// of Figs. 5/8; score = member-0 reconstruction error).
+  eval::DetectionMetrics evaluate_teacher(const AttackSplit& split,
+                                          std::span<const double> base_t) const;
+
+  /// Train iGuard over the T-scale grid, select on validation macro F1.
+  /// NOTE: temporarily mutates the shared teacher's thresholds; restores
+  /// the calibrated values afterwards.
+  IGuardOutcome train_iguard(const AttackSplit& split, std::span<const double> base_t) const;
+
+  /// The lab's conventional iForest (benign-trained, shared across attacks).
+  ml::IsolationForest& iforest() { return iforest_; }
+  const ml::IsolationForest& iforest() const { return iforest_; }
+
+ private:
+  CpuLabConfig cfg_;
+  ml::Matrix train_x_, val_benign_, test_benign_;
+  mutable core::AeEnsemble teacher_;  // thresholds recalibrated per attack
+  ml::IsolationForest iforest_;
+  mutable ml::Rng rng_;
+};
+
+}  // namespace iguard::harness

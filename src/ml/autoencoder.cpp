@@ -1,0 +1,77 @@
+#include "ml/autoencoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace iguard::ml {
+
+void Autoencoder::fit(const Matrix& benign, Rng& rng) {
+  if (benign.rows() == 0) throw std::invalid_argument("Autoencoder::fit: empty data");
+  const std::size_t m = benign.cols();
+  Matrix z = scaler_.fit_transform(benign);
+
+  std::vector<std::size_t> dims;
+  std::vector<Activation> acts;
+  dims.push_back(m);
+  for (std::size_t i = 0; i < cfg_.encoder_hidden.size(); ++i) {
+    dims.push_back(cfg_.encoder_hidden[i]);
+    // tanh at the bottleneck: a narrow ReLU code can die wholesale (all
+    // units stuck at 0), which flatlines the whole autoencoder.
+    const bool bottleneck = i + 1 == cfg_.encoder_hidden.size();
+    acts.push_back(bottleneck ? Activation::kTanh : Activation::kRelu);
+  }
+  for (std::size_t h : cfg_.decoder_hidden) {
+    dims.push_back(h);
+    acts.push_back(Activation::kRelu);
+  }
+  dims.push_back(m);
+  acts.push_back(Activation::kLinear);  // reconstruct standardised values
+  net_ = Mlp(dims, acts, rng);
+
+  final_loss_ = net_.fit(z, z, cfg_.epochs, cfg_.batch_size, cfg_.learning_rate, rng);
+
+  // T_u = quantile of benign training reconstruction errors.
+  std::vector<double> errors(benign.rows());
+  for (std::size_t i = 0; i < benign.rows(); ++i) {
+    errors[i] = reconstruction_error(benign.row(i));
+  }
+  std::sort(errors.begin(), errors.end());
+  const double q = std::clamp(cfg_.threshold_quantile, 0.0, 1.0);
+  const std::size_t k =
+      std::min(errors.size() - 1, static_cast<std::size_t>(q * static_cast<double>(errors.size())));
+  threshold_ = errors[k];
+}
+
+double Autoencoder::reconstruction_error(std::span<const double> x) {
+  if (!scaler_.fitted()) throw std::logic_error("Autoencoder: not fitted");
+  scaled_.resize(x.size());
+  scaler_.transform_row(x, scaled_);
+  const auto& y = net_.forward(scaled_);
+  double s = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double d = y[i] - scaled_[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(y.size()));
+}
+
+AutoencoderConfig magnifier_config(std::size_t epochs) {
+  AutoencoderConfig cfg;
+  cfg.encoder_hidden = {32, 16, 4};
+  cfg.decoder_hidden = {};  // asymmetric: 4 -> m directly
+  cfg.epochs = epochs;
+  cfg.label = "magnifier";
+  return cfg;
+}
+
+AutoencoderConfig testbed_autoencoder_config(std::size_t epochs) {
+  AutoencoderConfig cfg;
+  cfg.encoder_hidden = {16, 8, 3};
+  cfg.decoder_hidden = {};
+  cfg.epochs = epochs;
+  cfg.label = "testbed-ae";
+  return cfg;
+}
+
+}  // namespace iguard::ml

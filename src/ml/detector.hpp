@@ -1,0 +1,35 @@
+// Common interface for the unsupervised anomaly detectors compared in the
+// paper's Fig. 10 (kNN, PCA, iForest, X-means, VAE, Magnifier). Every model
+// is fit on benign-only data and emits a scalar anomaly score where *higher
+// means more anomalous*; a per-model threshold turns the score into a label.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "ml/matrix.hpp"
+#include "ml/rng.hpp"
+
+namespace iguard::ml {
+
+class AnomalyDetector {
+ public:
+  virtual ~AnomalyDetector() = default;
+
+  /// Train on benign-only samples.
+  virtual void fit(const Matrix& benign, Rng& rng) = 0;
+
+  /// Anomaly score for one sample; higher = more anomalous.
+  virtual double score(std::span<const double> x) = 0;
+
+  /// Decision threshold on score(); callers may recalibrate on validation.
+  virtual double threshold() const = 0;
+  virtual void set_threshold(double t) = 0;
+
+  /// 1 = malicious/anomalous, 0 = benign.
+  int predict(std::span<const double> x) { return score(x) > threshold() ? 1 : 0; }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace iguard::ml

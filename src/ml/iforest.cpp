@@ -1,0 +1,127 @@
+#include "ml/iforest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace iguard::ml {
+
+namespace {
+constexpr double kEulerMascheroni = 0.5772156649015329;
+
+// Recursive iTree builder over the rows of `data` selected by `idx`.
+int build_node(const Matrix& data, std::vector<std::size_t>& idx, int depth,
+               int height_cap, std::vector<ITreeNode>& nodes, Rng& rng) {
+  const int self = static_cast<int>(nodes.size());
+  nodes.push_back({});
+  nodes[self].size = idx.size();
+  nodes[self].depth = depth;
+  if (idx.size() <= 1 || depth >= height_cap) return self;
+
+  // Pick a random feature with spread; give up after a few tries (all-equal
+  // nodes become leaves, matching the reference algorithm's behaviour).
+  const std::size_t m = data.cols();
+  int feature = -1;
+  double lo = 0.0, hi = 0.0;
+  for (std::size_t attempt = 0; attempt < 2 * m; ++attempt) {
+    const std::size_t q = rng.index(m);
+    lo = hi = data(idx[0], q);
+    for (std::size_t r : idx) {
+      lo = std::min(lo, data(r, q));
+      hi = std::max(hi, data(r, q));
+    }
+    if (hi > lo) {
+      feature = static_cast<int>(q);
+      break;
+    }
+  }
+  if (feature < 0) return self;
+
+  const double p = rng.uniform(lo, hi);
+  std::vector<std::size_t> left, right;
+  for (std::size_t r : idx) {
+    (data(r, static_cast<std::size_t>(feature)) < p ? left : right).push_back(r);
+  }
+  if (left.empty() || right.empty()) return self;  // degenerate split -> leaf
+
+  nodes[self].feature = feature;
+  nodes[self].threshold = p;
+  idx.clear();
+  idx.shrink_to_fit();
+  const int l = build_node(data, left, depth + 1, height_cap, nodes, rng);
+  const int r = build_node(data, right, depth + 1, height_cap, nodes, rng);
+  nodes[self].left = l;
+  nodes[self].right = r;
+  return self;
+}
+}  // namespace
+
+double average_path_length(std::size_t n) {
+  if (n <= 1) return 0.0;
+  if (n == 2) return 1.0;
+  const double nd = static_cast<double>(n);
+  const double harmonic = std::log(nd - 1.0) + kEulerMascheroni;
+  return 2.0 * harmonic - 2.0 * (nd - 1.0) / nd;
+}
+
+int ITree::leaf_index(std::span<const double> x) const {
+  int i = 0;
+  while (nodes[static_cast<std::size_t>(i)].feature >= 0) {
+    const auto& n = nodes[static_cast<std::size_t>(i)];
+    i = x[static_cast<std::size_t>(n.feature)] < n.threshold ? n.left : n.right;
+  }
+  return i;
+}
+
+double ITree::path_length(std::span<const double> x) const {
+  const auto& leaf = nodes[static_cast<std::size_t>(leaf_index(x))];
+  return static_cast<double>(leaf.depth) + average_path_length(leaf.size);
+}
+
+std::size_t ITree::leaf_count() const {
+  std::size_t c = 0;
+  for (const auto& n : nodes) c += n.feature < 0 ? 1 : 0;
+  return c;
+}
+
+void IsolationForest::fit(const Matrix& benign, Rng& rng) {
+  if (benign.rows() == 0) throw std::invalid_argument("IsolationForest::fit: empty data");
+  effective_psi_ = std::min(cfg_.subsample, benign.rows());
+  const int height_cap =
+      static_cast<int>(std::ceil(std::log2(std::max<double>(2.0, static_cast<double>(effective_psi_)))));
+
+  trees_.clear();
+  trees_.reserve(cfg_.num_trees);
+  for (std::size_t t = 0; t < cfg_.num_trees; ++t) {
+    auto idx = rng.sample_without_replacement(benign.rows(), effective_psi_);
+    ITree tree;
+    build_node(benign, idx, 0, height_cap, tree.nodes, rng);
+    trees_.push_back(std::move(tree));
+  }
+
+  // Threshold from contamination: the (1 - c) quantile of training scores.
+  std::vector<double> scores(benign.rows());
+  for (std::size_t i = 0; i < benign.rows(); ++i) scores[i] = anomaly_score(benign.row(i));
+  std::sort(scores.begin(), scores.end());
+  const double q = std::clamp(1.0 - cfg_.contamination, 0.0, 1.0);
+  const std::size_t k =
+      std::min(scores.size() - 1, static_cast<std::size_t>(q * static_cast<double>(scores.size())));
+  threshold_ = scores[k];
+}
+
+double IsolationForest::expected_path_length(std::span<const double> x) const {
+  if (trees_.empty()) throw std::logic_error("IsolationForest: not fitted");
+  double total = 0.0;
+  for (const auto& t : trees_) total += t.path_length(x);
+  return total / static_cast<double>(trees_.size());
+}
+
+double IsolationForest::anomaly_score(std::span<const double> x) const {
+  const double e = expected_path_length(x);
+  const double c = average_path_length(effective_psi_);
+  if (c <= 0.0) return 0.5;
+  return std::pow(2.0, -e / c);
+}
+
+}  // namespace iguard::ml

@@ -1,0 +1,74 @@
+// Conventional Isolation Forest (Liu, Ting & Zhou, ICDM 2008) — the baseline
+// the paper compares against (its data-plane deployment follows HorusEye).
+// Each iTree splits on a uniformly random (feature, value) pair until a node
+// holds <= 1 sample or the height cap ceil(log2 psi) is reached. The anomaly
+// score of x is 2^(-E[h(x)]/c(psi)) where E[h(x)] is the mean path length
+// over trees and c(n) the average unsuccessful-BST-search length.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/detector.hpp"
+#include "ml/matrix.hpp"
+#include "ml/rng.hpp"
+
+namespace iguard::ml {
+
+/// c(n): expected path length of an unsuccessful BST search over n samples;
+/// normalises iForest path lengths and pads leaves that stopped early.
+double average_path_length(std::size_t n);
+
+/// Node of an isolation tree, stored flat. feature == -1 marks a leaf.
+struct ITreeNode {
+  int feature = -1;
+  double threshold = 0.0;
+  int left = -1;
+  int right = -1;
+  std::size_t size = 0;  // training samples that reached this node
+  int depth = 0;
+};
+
+struct ITree {
+  std::vector<ITreeNode> nodes;
+
+  /// h(x): depth of the leaf x falls into plus c(leaf.size).
+  double path_length(std::span<const double> x) const;
+  /// Index of the leaf node x falls into.
+  int leaf_index(std::span<const double> x) const;
+  std::size_t leaf_count() const;
+};
+
+struct IsolationForestConfig {
+  std::size_t num_trees = 100;    // t
+  std::size_t subsample = 256;    // Psi
+  double contamination = 0.05;    // expected anomaly fraction -> threshold
+};
+
+class IsolationForest : public AnomalyDetector {
+ public:
+  explicit IsolationForest(IsolationForestConfig cfg = {}) : cfg_(cfg) {}
+
+  void fit(const Matrix& benign, Rng& rng) override;
+  double score(std::span<const double> x) override { return anomaly_score(x); }
+  double threshold() const override { return threshold_; }
+  void set_threshold(double t) override { threshold_ = t; }
+  std::string name() const override { return "iforest"; }
+
+  double anomaly_score(std::span<const double> x) const;
+  /// E[h(x)] over all trees — the quantity plotted in the paper's Fig. 2/7.
+  double expected_path_length(std::span<const double> x) const;
+
+  const std::vector<ITree>& trees() const { return trees_; }
+  const IsolationForestConfig& config() const { return cfg_; }
+  /// Effective subsample size used for c(psi) (clamped to dataset size).
+  std::size_t effective_subsample() const { return effective_psi_; }
+
+ private:
+  IsolationForestConfig cfg_;
+  std::vector<ITree> trees_;
+  std::size_t effective_psi_ = 0;
+  double threshold_ = 0.5;
+};
+
+}  // namespace iguard::ml

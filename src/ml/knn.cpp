@@ -1,0 +1,44 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace iguard::ml {
+
+void KnnDetector::fit(const Matrix& benign, Rng& rng) {
+  if (benign.rows() == 0) throw std::invalid_argument("KnnDetector::fit: empty data");
+  Matrix z = scaler_.fit_transform(benign);
+  if (z.rows() > cfg_.max_reference) {
+    auto idx = rng.sample_without_replacement(z.rows(), cfg_.max_reference);
+    ref_ = z.gather(idx);
+  } else {
+    ref_ = std::move(z);
+  }
+
+  // Threshold on leave-self-out scores of the (unsubsampled) training data.
+  std::vector<double> scores(benign.rows());
+  for (std::size_t i = 0; i < benign.rows(); ++i) scores[i] = score(benign.row(i));
+  std::sort(scores.begin(), scores.end());
+  const std::size_t qi = std::min(
+      scores.size() - 1,
+      static_cast<std::size_t>(cfg_.threshold_quantile * static_cast<double>(scores.size())));
+  threshold_ = scores[qi];
+}
+
+double KnnDetector::score(std::span<const double> x) {
+  if (!scaler_.fitted()) throw std::logic_error("KnnDetector: not fitted");
+  z_.resize(x.size());
+  scaler_.transform_row(x, z_);
+  const std::size_t n = ref_.rows();
+  const std::size_t k = std::min(cfg_.k, n);
+  dists_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) dists_[i] = sq_dist(ref_.row(i), z_);
+  std::nth_element(dists_.begin(), dists_.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   dists_.end());
+  double mean = 0.0;
+  for (std::size_t i = 0; i < k; ++i) mean += std::sqrt(dists_[i]);
+  return mean / static_cast<double>(k);
+}
+
+}  // namespace iguard::ml

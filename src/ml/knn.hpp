@@ -1,0 +1,40 @@
+// k-nearest-neighbour anomaly detector (Fig. 10 candidate). Score = mean
+// standardised distance to the k nearest benign training samples; far from
+// all benign mass => anomalous. Training data is capped by reservoir-style
+// subsampling so inference stays O(cap * m) per query.
+#pragma once
+
+#include <cstddef>
+
+#include "ml/detector.hpp"
+#include "ml/scaler.hpp"
+
+namespace iguard::ml {
+
+struct KnnDetectorConfig {
+  std::size_t k = 5;
+  std::size_t max_reference = 2000;  // subsample cap for the reference set
+  double threshold_quantile = 0.98;
+};
+
+class KnnDetector : public AnomalyDetector {
+ public:
+  explicit KnnDetector(KnnDetectorConfig cfg = {}) : cfg_(cfg) {}
+
+  void fit(const Matrix& benign, Rng& rng) override;
+  double score(std::span<const double> x) override;
+  double threshold() const override { return threshold_; }
+  void set_threshold(double t) override { threshold_ = t; }
+  std::string name() const override { return "knn"; }
+
+  std::size_t reference_size() const { return ref_.rows(); }
+
+ private:
+  KnnDetectorConfig cfg_;
+  StandardScaler scaler_;
+  Matrix ref_;  // standardised reference set
+  double threshold_ = 0.0;
+  std::vector<double> z_, dists_;
+};
+
+}  // namespace iguard::ml

@@ -1,0 +1,117 @@
+// Dense row-major matrix used as the universal dataset / parameter container
+// throughout the library. Deliberately minimal: the models in this repo work
+// on at most a few tens of features and a few hundred thousand rows, so a
+// cache-friendly contiguous buffer plus a handful of BLAS-1/2 style kernels
+// is all that is needed (no external BLAS dependency).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace iguard::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Build from nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> init) {
+    rows_ = init.size();
+    cols_ = rows_ ? init.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto& r : init) {
+      if (r.size() != cols_) throw std::invalid_argument("ragged initializer");
+      data_.insert(data_.end(), r.begin(), r.end());
+    }
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<double> flat() { return data_; }
+  std::span<const double> flat() const { return data_; }
+
+  /// Append one row (must match cols(), or set cols on first append).
+  void push_row(std::span<const double> v) {
+    if (rows_ == 0 && cols_ == 0) cols_ = v.size();
+    if (v.size() != cols_) throw std::invalid_argument("row width mismatch");
+    data_.insert(data_.end(), v.begin(), v.end());
+    ++rows_;
+  }
+
+  /// Copy of the selected rows, in the given order.
+  Matrix gather(std::span<const std::size_t> idx) const {
+    Matrix out(idx.size(), cols_);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      auto src = row(idx[i]);
+      std::copy(src.begin(), src.end(), out.row(i).begin());
+    }
+    return out;
+  }
+
+  void clear() {
+    rows_ = 0;
+    cols_ = 0;
+    data_.clear();
+  }
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// ---- small vector kernels ---------------------------------------------------
+
+/// dst += a * x  (axpy)
+inline void axpy(double a, std::span<const double> x, std::span<double> dst) {
+  assert(x.size() == dst.size());
+  for (std::size_t i = 0; i < x.size(); ++i) dst[i] += a * x[i];
+}
+
+inline double dot(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// Squared Euclidean distance.
+inline double sq_dist(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace iguard::ml

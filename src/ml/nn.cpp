@@ -1,0 +1,176 @@
+#include "ml/nn.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace iguard::ml {
+
+double apply_activation(Activation a, double z) {
+  switch (a) {
+    case Activation::kLinear:
+      return z;
+    case Activation::kRelu:
+      return z > 0.0 ? z : 0.0;
+    case Activation::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-z));
+    case Activation::kTanh:
+      return std::tanh(z);
+  }
+  return z;
+}
+
+double activation_grad_from_output(Activation a, double y) {
+  switch (a) {
+    case Activation::kLinear:
+      return 1.0;
+    case Activation::kRelu:
+      return y > 0.0 ? 1.0 : 0.0;
+    case Activation::kSigmoid:
+      return y * (1.0 - y);
+    case Activation::kTanh:
+      return 1.0 - y * y;
+  }
+  return 1.0;
+}
+
+DenseLayer::DenseLayer(std::size_t in, std::size_t out, Activation act, Rng& rng)
+    : w_(out, in),
+      b_(out, 0.0),
+      act_(act),
+      gw_(out, in),
+      mw_(out, in),
+      vw_(out, in),
+      gb_(out, 0.0),
+      mb_(out, 0.0),
+      vb_(out, 0.0) {
+  // Glorot-uniform initialisation keeps small nets trainable at lr ~1e-3.
+  const double limit = std::sqrt(6.0 / static_cast<double>(in + out));
+  for (double& v : w_.flat()) v = rng.uniform(-limit, limit);
+}
+
+void DenseLayer::forward(std::span<const double> x, std::vector<double>& y) {
+  if (x.size() != in_dim()) throw std::invalid_argument("DenseLayer: bad input width");
+  last_x_.assign(x.begin(), x.end());
+  y.resize(out_dim());
+  for (std::size_t o = 0; o < out_dim(); ++o) {
+    y[o] = apply_activation(act_, dot(w_.row(o), x) + b_[o]);
+  }
+  last_y_ = y;
+}
+
+void DenseLayer::backward(std::span<const double> dy, std::vector<double>& dx) {
+  dx.assign(in_dim(), 0.0);
+  for (std::size_t o = 0; o < out_dim(); ++o) {
+    const double dz = dy[o] * activation_grad_from_output(act_, last_y_[o]);
+    gb_[o] += dz;
+    auto gw_row = gw_.row(o);
+    auto w_row = w_.row(o);
+    for (std::size_t i = 0; i < in_dim(); ++i) {
+      gw_row[i] += dz * last_x_[i];
+      dx[i] += dz * w_row[i];
+    }
+  }
+}
+
+void DenseLayer::step(double lr, std::size_t batch, std::size_t t, double beta1,
+                      double beta2, double eps) {
+  const double inv = 1.0 / static_cast<double>(batch);
+  const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(t));
+  const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(t));
+  auto g = gw_.flat();
+  auto m = mw_.flat();
+  auto v = vw_.flat();
+  auto w = w_.flat();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const double grad = g[i] * inv;
+    m[i] = beta1 * m[i] + (1.0 - beta1) * grad;
+    v[i] = beta2 * v[i] + (1.0 - beta2) * grad * grad;
+    w[i] -= lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + eps);
+    g[i] = 0.0;
+  }
+  for (std::size_t o = 0; o < b_.size(); ++o) {
+    const double grad = gb_[o] * inv;
+    mb_[o] = beta1 * mb_[o] + (1.0 - beta1) * grad;
+    vb_[o] = beta2 * vb_[o] + (1.0 - beta2) * grad * grad;
+    b_[o] -= lr * (mb_[o] / bc1) / (std::sqrt(vb_[o] / bc2) + eps);
+    gb_[o] = 0.0;
+  }
+}
+
+Mlp::Mlp(std::span<const std::size_t> dims, std::span<const Activation> acts, Rng& rng) {
+  if (dims.size() < 2 || acts.size() != dims.size() - 1) {
+    throw std::invalid_argument("Mlp: dims/acts mismatch");
+  }
+  layers_.reserve(acts.size());
+  for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+    layers_.emplace_back(dims[l], dims[l + 1], acts[l], rng);
+  }
+  buf_.resize(layers_.size());
+}
+
+std::size_t Mlp::in_dim() const { return layers_.front().in_dim(); }
+std::size_t Mlp::out_dim() const { return layers_.back().out_dim(); }
+
+const std::vector<double>& Mlp::forward(std::span<const double> x) {
+  std::span<const double> cur = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l].forward(cur, buf_[l]);
+    cur = buf_[l];
+  }
+  return buf_.back();
+}
+
+void Mlp::backward(std::span<const double> dout, std::vector<double>& dx) {
+  std::vector<double> d(dout.begin(), dout.end());
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    layers_[l].backward(d, dx);
+    d = dx;
+  }
+}
+
+void Mlp::step(double lr, std::size_t batch) {
+  ++adam_t_;
+  for (auto& layer : layers_) layer.step(lr, batch, adam_t_);
+}
+
+double Mlp::train_batch(const Matrix& x, const Matrix& target,
+                        std::span<const std::size_t> idx, double lr) {
+  double loss = 0.0;
+  std::vector<double> dout, dx;
+  for (std::size_t s : idx) {
+    const auto& y = forward(x.row(s));
+    auto t = target.row(s);
+    dout.resize(y.size());
+    for (std::size_t j = 0; j < y.size(); ++j) {
+      const double e = y[j] - t[j];
+      loss += e * e;
+      dout[j] = 2.0 * e / static_cast<double>(y.size());
+    }
+    backward(dout, dx);
+  }
+  step(lr, idx.size());
+  return loss / static_cast<double>(idx.size() * out_dim());
+}
+
+double Mlp::fit(const Matrix& x, const Matrix& target, std::size_t epochs,
+                std::size_t batch_size, double lr, Rng& rng) {
+  if (x.rows() != target.rows()) throw std::invalid_argument("Mlp::fit: row mismatch");
+  std::vector<std::size_t> order(x.rows());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  double last_epoch_loss = 0.0;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    rng.shuffle(std::span<std::size_t>(order));
+    double total = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size(); start += batch_size) {
+      const std::size_t len = std::min(batch_size, order.size() - start);
+      total += train_batch(x, target, {order.data() + start, len}, lr);
+      ++batches;
+    }
+    last_epoch_loss = total / static_cast<double>(std::max<std::size_t>(batches, 1));
+  }
+  return last_epoch_loss;
+}
+
+}  // namespace iguard::ml

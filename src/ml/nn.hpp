@@ -1,0 +1,95 @@
+// Minimal dense neural-network substrate: fully-connected layers, common
+// activations, MSE loss and the Adam optimiser. This is the training engine
+// behind the Magnifier-style autoencoders (autoencoder.hpp) and the VAE
+// (vae.hpp). Scope is deliberately narrow — inputs here are 4-50 dimensional
+// flow-feature vectors, so a straightforward per-sample backprop loop with
+// gradient accumulation over minibatches is fast enough and easy to verify.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/matrix.hpp"
+#include "ml/rng.hpp"
+
+namespace iguard::ml {
+
+enum class Activation { kLinear, kRelu, kSigmoid, kTanh };
+
+double apply_activation(Activation a, double z);
+/// Derivative expressed in terms of the *activated* output y = f(z).
+double activation_grad_from_output(Activation a, double y);
+
+/// One fully-connected layer `y = f(W x + b)` with Adam state.
+class DenseLayer {
+ public:
+  DenseLayer(std::size_t in, std::size_t out, Activation act, Rng& rng);
+
+  std::size_t in_dim() const { return w_.cols(); }
+  std::size_t out_dim() const { return w_.rows(); }
+  Activation activation() const { return act_; }
+
+  /// Forward one sample; caches input and output for a later backward().
+  void forward(std::span<const double> x, std::vector<double>& y);
+
+  /// Backward one sample: consumes dL/dy, accumulates parameter gradients,
+  /// and produces dL/dx. Must follow the matching forward() call.
+  void backward(std::span<const double> dy, std::vector<double>& dx);
+
+  /// Adam update with the accumulated gradients (averaged over `batch`),
+  /// then clears the accumulators.
+  void step(double lr, std::size_t batch, std::size_t t, double beta1 = 0.9,
+            double beta2 = 0.999, double eps = 1e-8);
+
+  const Matrix& weights() const { return w_; }
+  const std::vector<double>& bias() const { return b_; }
+
+ private:
+  Matrix w_;                   // out x in
+  std::vector<double> b_;      // out
+  Activation act_;
+  // Gradient accumulators and Adam moments.
+  Matrix gw_, mw_, vw_;
+  std::vector<double> gb_, mb_, vb_;
+  // Per-sample caches.
+  std::vector<double> last_x_, last_y_;
+};
+
+/// A feed-forward stack of dense layers trained with MSE loss.
+class Mlp {
+ public:
+  /// `dims` = {in, h1, ..., out}; `acts.size() == dims.size() - 1`.
+  Mlp(std::span<const std::size_t> dims, std::span<const Activation> acts, Rng& rng);
+  Mlp() = default;
+
+  std::size_t in_dim() const;
+  std::size_t out_dim() const;
+
+  /// Forward pass; returns reference to an internal buffer (valid until the
+  /// next forward call on this object).
+  const std::vector<double>& forward(std::span<const double> x);
+
+  /// One minibatch of (x -> target) pairs with MSE loss; returns mean loss.
+  double train_batch(const Matrix& x, const Matrix& target,
+                     std::span<const std::size_t> idx, double lr);
+
+  /// Full training loop: shuffled minibatches for `epochs`; returns the mean
+  /// loss of the final epoch.
+  double fit(const Matrix& x, const Matrix& target, std::size_t epochs,
+             std::size_t batch_size, double lr, Rng& rng);
+
+  /// Backward from an externally supplied output gradient (used by the VAE);
+  /// must directly follow forward() and accumulates layer gradients.
+  void backward(std::span<const double> dout, std::vector<double>& dx);
+  void step(double lr, std::size_t batch);
+
+  const std::vector<DenseLayer>& layers() const { return layers_; }
+
+ private:
+  std::vector<DenseLayer> layers_;
+  std::vector<std::vector<double>> buf_;  // per-layer activation buffers
+  std::size_t adam_t_ = 0;
+};
+
+}  // namespace iguard::ml

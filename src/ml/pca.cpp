@@ -1,0 +1,126 @@
+#include "ml/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace iguard::ml {
+
+SymmetricEigen jacobi_eigen(const Matrix& sym, std::size_t max_sweeps) {
+  if (sym.rows() != sym.cols()) throw std::invalid_argument("jacobi_eigen: not square");
+  const std::size_t n = sym.rows();
+  Matrix a = sym;
+  Matrix v(n, n);
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    if (off < 1e-20) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::abs(a(p, q)) < 1e-15) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * a(p, q));
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return a(i, i) > a(j, j); });
+
+  SymmetricEigen out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    out.values[r] = a(order[r], order[r]);
+    for (std::size_t k = 0; k < n; ++k) out.vectors(r, k) = v(k, order[r]);
+  }
+  return out;
+}
+
+void PcaDetector::fit(const Matrix& benign, Rng& /*rng*/) {
+  if (benign.rows() < 2) throw std::invalid_argument("PcaDetector::fit: need >= 2 rows");
+  Matrix z = scaler_.fit_transform(benign);
+  const std::size_t n = z.rows(), m = z.cols();
+
+  Matrix cov(m, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto r = z.row(i);
+    for (std::size_t a = 0; a < m; ++a)
+      for (std::size_t b = a; b < m; ++b) cov(a, b) += r[a] * r[b];
+  }
+  for (std::size_t a = 0; a < m; ++a)
+    for (std::size_t b = a; b < m; ++b) {
+      cov(a, b) /= static_cast<double>(n - 1);
+      cov(b, a) = cov(a, b);
+    }
+
+  auto eig = jacobi_eigen(cov);
+  const double total = std::accumulate(eig.values.begin(), eig.values.end(), 0.0,
+                                       [](double s, double v) { return s + std::max(v, 0.0); });
+  double kept = 0.0;
+  std::size_t k = 0;
+  while (k < m && (total <= 0.0 || kept / total < cfg_.variance_to_keep)) {
+    kept += std::max(eig.values[k], 0.0);
+    ++k;
+  }
+  k = std::max<std::size_t>(k, 1);
+
+  components_ = Matrix(k, m);
+  for (std::size_t r = 0; r < k; ++r) {
+    auto src = eig.vectors.row(r);
+    std::copy(src.begin(), src.end(), components_.row(r).begin());
+  }
+
+  std::vector<double> scores(n);
+  for (std::size_t i = 0; i < n; ++i) scores[i] = score(benign.row(i));
+  std::sort(scores.begin(), scores.end());
+  const std::size_t qi = std::min(
+      scores.size() - 1,
+      static_cast<std::size_t>(cfg_.threshold_quantile * static_cast<double>(scores.size())));
+  threshold_ = scores[qi];
+}
+
+double PcaDetector::score(std::span<const double> x) {
+  if (!scaler_.fitted()) throw std::logic_error("PcaDetector: not fitted");
+  const std::size_t m = x.size(), k = components_.rows();
+  z_.resize(m);
+  scaler_.transform_row(x, z_);
+  proj_.assign(m, 0.0);
+  for (std::size_t r = 0; r < k; ++r) {
+    const double coeff = dot(components_.row(r), z_);
+    axpy(coeff, components_.row(r), proj_);
+  }
+  double resid = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    const double d = z_[j] - proj_[j];
+    resid += d * d;
+  }
+  return std::sqrt(resid);
+}
+
+}  // namespace iguard::ml

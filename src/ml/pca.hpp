@@ -1,0 +1,49 @@
+// PCA-based anomaly detector (Fig. 10 candidate): standardise, take the top
+// principal components covering `variance_to_keep` of total variance, and
+// score a sample by the norm of its reconstruction residual — anomalies lie
+// off the benign subspace. Eigen-decomposition is a classical cyclic Jacobi
+// sweep, exact enough for the <= 50-dim covariance matrices used here.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/detector.hpp"
+#include "ml/scaler.hpp"
+
+namespace iguard::ml {
+
+/// Jacobi eigen-decomposition of a symmetric matrix. Returns eigenvalues in
+/// descending order; eigenvectors() rows correspond to eigenvalues.
+struct SymmetricEigen {
+  std::vector<double> values;
+  Matrix vectors;  // row i = eigenvector of values[i]
+};
+SymmetricEigen jacobi_eigen(const Matrix& sym, std::size_t max_sweeps = 64);
+
+struct PcaDetectorConfig {
+  double variance_to_keep = 0.90;
+  double threshold_quantile = 0.98;
+};
+
+class PcaDetector : public AnomalyDetector {
+ public:
+  explicit PcaDetector(PcaDetectorConfig cfg = {}) : cfg_(cfg) {}
+
+  void fit(const Matrix& benign, Rng& rng) override;
+  double score(std::span<const double> x) override;
+  double threshold() const override { return threshold_; }
+  void set_threshold(double t) override { threshold_ = t; }
+  std::string name() const override { return "pca"; }
+
+  std::size_t components() const { return components_.rows(); }
+
+ private:
+  PcaDetectorConfig cfg_;
+  StandardScaler scaler_;
+  Matrix components_;  // k x m, orthonormal rows
+  double threshold_ = 0.0;
+  std::vector<double> z_, proj_;
+};
+
+}  // namespace iguard::ml

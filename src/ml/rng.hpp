@@ -1,0 +1,79 @@
+// Deterministic random-number utility shared by every stochastic component
+// (traffic generation, sub-sampling, tree building, NN initialisation).
+// All experiments seed explicitly so results are reproducible run-to-run.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace iguard::ml {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x1f0e57u) : eng_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(eng_);
+  }
+
+  /// Gaussian sample.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    if (stddev <= 0.0) return mean;
+    return std::normal_distribution<double>(mean, stddev)(eng_);
+  }
+
+  /// Exponential inter-arrival with the given mean (> 0).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(eng_);
+  }
+
+  /// Uniform integer in [0, n).
+  std::size_t index(std::size_t n) {
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(eng_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t integer(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(eng_);
+  }
+
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(eng_); }
+
+  /// Poisson draw with the given mean.
+  std::size_t poisson(double mean) {
+    return std::poisson_distribution<std::size_t>(mean)(eng_);
+  }
+
+  /// k distinct indices sampled uniformly from [0, n) (k clamped to n).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k) {
+    k = std::min(k, n);
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    // Partial Fisher-Yates: only the first k draws are needed.
+    for (std::size_t i = 0; i < k; ++i) {
+      std::swap(idx[i], idx[i + index(n - i)]);
+    }
+    idx.resize(k);
+    return idx;
+  }
+
+  template <typename T>
+  void shuffle(std::span<T> v) {
+    std::shuffle(v.begin(), v.end(), eng_);
+  }
+
+  /// Fork an independent child stream (stable given call order).
+  Rng fork() { return Rng(eng_() ^ 0x9e3779b97f4a7c15ull); }
+
+  std::mt19937_64& engine() { return eng_; }
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+}  // namespace iguard::ml

@@ -1,0 +1,82 @@
+#include "ml/scaler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace iguard::ml {
+
+void StandardScaler::fit(const Matrix& x) {
+  if (x.rows() == 0) throw std::invalid_argument("StandardScaler: empty matrix");
+  const std::size_t n = x.rows(), m = x.cols();
+  mean_.assign(m, 0.0);
+  std_.assign(m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto r = x.row(i);
+    for (std::size_t j = 0; j < m; ++j) mean_[j] += r[j];
+  }
+  for (auto& v : mean_) v /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto r = x.row(i);
+    for (std::size_t j = 0; j < m; ++j) {
+      const double d = r[j] - mean_[j];
+      std_[j] += d * d;
+    }
+  }
+  for (auto& v : std_) v = std::sqrt(v / static_cast<double>(n));
+}
+
+void StandardScaler::transform_row(std::span<const double> in, std::span<double> out) const {
+  for (std::size_t j = 0; j < in.size(); ++j) {
+    out[j] = std_[j] > 0.0 ? (in[j] - mean_[j]) / std_[j] : 0.0;
+  }
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  if (x.cols() != mean_.size()) throw std::invalid_argument("StandardScaler: width mismatch");
+  Matrix z(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) transform_row(x.row(i), z.row(i));
+  return z;
+}
+
+Matrix StandardScaler::inverse_transform(const Matrix& z) const {
+  if (z.cols() != mean_.size()) throw std::invalid_argument("StandardScaler: width mismatch");
+  Matrix x(z.rows(), z.cols());
+  for (std::size_t i = 0; i < z.rows(); ++i) {
+    auto zi = z.row(i);
+    auto xi = x.row(i);
+    for (std::size_t j = 0; j < z.cols(); ++j) xi[j] = zi[j] * std_[j] + mean_[j];
+  }
+  return x;
+}
+
+void MinMaxScaler::fit(const Matrix& x) {
+  if (x.rows() == 0) throw std::invalid_argument("MinMaxScaler: empty matrix");
+  const std::size_t m = x.cols();
+  min_.assign(m, std::numeric_limits<double>::infinity());
+  max_.assign(m, -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    auto r = x.row(i);
+    for (std::size_t j = 0; j < m; ++j) {
+      min_[j] = std::min(min_[j], r[j]);
+      max_[j] = std::max(max_[j], r[j]);
+    }
+  }
+}
+
+void MinMaxScaler::transform_row(std::span<const double> in, std::span<double> out) const {
+  for (std::size_t j = 0; j < in.size(); ++j) {
+    const double span = max_[j] - min_[j];
+    const double z = span > 0.0 ? (in[j] - min_[j]) / span : 0.0;
+    out[j] = std::clamp(z, 0.0, 1.0);
+  }
+}
+
+Matrix MinMaxScaler::transform(const Matrix& x) const {
+  if (x.cols() != min_.size()) throw std::invalid_argument("MinMaxScaler: width mismatch");
+  Matrix z(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) transform_row(x.row(i), z.row(i));
+  return z;
+}
+
+}  // namespace iguard::ml

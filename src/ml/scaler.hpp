@@ -1,0 +1,53 @@
+// Feature scaling. Every detector in this repo (autoencoders in particular)
+// is trained on standardised or min-max-normalised features; the switch
+// pipeline instead uses the integer quantisation in src/rules/quantize.hpp.
+#pragma once
+
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace iguard::ml {
+
+/// z = (x - mean) / std, per column. Columns with zero variance map to 0.
+class StandardScaler {
+ public:
+  void fit(const Matrix& x);
+  Matrix transform(const Matrix& x) const;
+  void transform_row(std::span<const double> in, std::span<double> out) const;
+  Matrix inverse_transform(const Matrix& z) const;
+  Matrix fit_transform(const Matrix& x) {
+    fit(x);
+    return transform(x);
+  }
+
+  bool fitted() const { return !mean_.empty(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return std_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+/// z = (x - min) / (max - min), clamped to [0, 1] on transform.
+class MinMaxScaler {
+ public:
+  void fit(const Matrix& x);
+  Matrix transform(const Matrix& x) const;
+  void transform_row(std::span<const double> in, std::span<double> out) const;
+  Matrix fit_transform(const Matrix& x) {
+    fit(x);
+    return transform(x);
+  }
+
+  bool fitted() const { return !min_.empty(); }
+  const std::vector<double>& min() const { return min_; }
+  const std::vector<double>& max() const { return max_; }
+
+ private:
+  std::vector<double> min_;
+  std::vector<double> max_;
+};
+
+}  // namespace iguard::ml

@@ -1,0 +1,52 @@
+// Variational autoencoder (Fig. 10 candidate). Encoder outputs (mu, logvar)
+// of a diagonal Gaussian posterior; training uses the reparameterisation
+// trick z = mu + exp(logvar/2) * eps with loss MSE + beta * KL(q || N(0,I)).
+// Anomaly score is the deterministic (z = mu) RMSE reconstruction error, in
+// standardised feature space, mirroring the plain autoencoder's interface.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/detector.hpp"
+#include "ml/nn.hpp"
+#include "ml/scaler.hpp"
+
+namespace iguard::ml {
+
+struct VaeConfig {
+  std::vector<std::size_t> encoder_hidden{24, 12};
+  std::size_t latent = 4;
+  std::vector<std::size_t> decoder_hidden{12};
+  std::size_t epochs = 40;
+  std::size_t batch_size = 32;
+  double learning_rate = 1e-3;
+  double beta = 0.05;  // KL weight
+  double threshold_quantile = 0.98;
+};
+
+class Vae : public AnomalyDetector {
+ public:
+  explicit Vae(VaeConfig cfg = {}) : cfg_(std::move(cfg)) {}
+
+  void fit(const Matrix& benign, Rng& rng) override;
+  double score(std::span<const double> x) override { return reconstruction_error(x); }
+  double threshold() const override { return threshold_; }
+  void set_threshold(double t) override { threshold_ = t; }
+  std::string name() const override { return "vae"; }
+
+  /// RMSE with the posterior mean (no sampling).
+  double reconstruction_error(std::span<const double> x);
+  double final_loss() const { return final_loss_; }
+
+ private:
+  VaeConfig cfg_;
+  StandardScaler scaler_;
+  Mlp encoder_;  // m -> ... -> 2*latent (mu, logvar)
+  Mlp decoder_;  // latent -> ... -> m
+  double threshold_ = 0.0;
+  double final_loss_ = 0.0;
+  std::vector<double> zin_, zlat_;
+};
+
+}  // namespace iguard::ml

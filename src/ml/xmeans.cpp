@@ -1,0 +1,178 @@
+#include "ml/xmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace iguard::ml {
+
+KMeansResult kmeans(const Matrix& x, std::size_t k, Rng& rng, std::size_t max_iter) {
+  const std::size_t n = x.rows(), m = x.cols();
+  if (n == 0 || k == 0) throw std::invalid_argument("kmeans: empty input");
+  k = std::min(k, n);
+
+  // k-means++ seeding.
+  KMeansResult res;
+  res.centroids = Matrix(k, m);
+  std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+  std::size_t first = rng.index(n);
+  std::copy(x.row(first).begin(), x.row(first).end(), res.centroids.row(0).begin());
+  for (std::size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      d2[i] = std::min(d2[i], sq_dist(x.row(i), res.centroids.row(c - 1)));
+      total += d2[i];
+    }
+    double pick = rng.uniform(0.0, total > 0.0 ? total : 1.0);
+    std::size_t chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      pick -= d2[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    std::copy(x.row(chosen).begin(), x.row(chosen).end(), res.centroids.row(c).begin());
+  }
+
+  res.assign.assign(n, 0);
+  for (std::size_t iter = 0; iter < max_iter; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t best = 0;
+      double bd = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = sq_dist(x.row(i), res.centroids.row(c));
+        if (d < bd) {
+          bd = d;
+          best = c;
+        }
+      }
+      if (res.assign[i] != best) {
+        res.assign[i] = best;
+        changed = true;
+      }
+    }
+    Matrix sums(k, m);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      axpy(1.0, x.row(i), sums.row(res.assign[i]));
+      ++counts[res.assign[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // keep old centroid for empty clusters
+      auto cr = res.centroids.row(c);
+      auto sr = sums.row(c);
+      for (std::size_t j = 0; j < m; ++j) cr[j] = sr[j] / static_cast<double>(counts[c]);
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  res.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    res.inertia += sq_dist(x.row(i), res.centroids.row(res.assign[i]));
+  }
+  return res;
+}
+
+double kmeans_bic(const Matrix& x, const KMeansResult& fit) {
+  const double n = static_cast<double>(x.rows());
+  const double m = static_cast<double>(x.cols());
+  const double k = static_cast<double>(fit.centroids.rows());
+  if (x.rows() <= fit.centroids.rows()) return -std::numeric_limits<double>::infinity();
+
+  // MLE of the shared spherical variance.
+  const double variance = std::max(fit.inertia / (m * (n - k)), 1e-12);
+
+  std::vector<std::size_t> counts(fit.centroids.rows(), 0);
+  for (std::size_t a : fit.assign) ++counts[a];
+
+  double loglik = 0.0;
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    const double nc = static_cast<double>(counts[c]);
+    if (nc <= 0.0) continue;
+    loglik += nc * std::log(nc / n) - nc * m / 2.0 * std::log(2.0 * M_PI * variance) -
+              (nc - 1.0) * m / 2.0;
+  }
+  const double params = k * (m + 1.0);
+  return loglik - params / 2.0 * std::log(n);
+}
+
+void XMeans::fit(const Matrix& benign, Rng& rng) {
+  if (benign.rows() < 4) throw std::invalid_argument("XMeans::fit: too few rows");
+  Matrix z = scaler_.fit_transform(benign);
+  const std::size_t n = z.rows(), m = z.cols();
+
+  KMeansResult current = kmeans(z, cfg_.k_min, rng);
+  bool improved = true;
+  while (improved && current.centroids.rows() < cfg_.k_max) {
+    improved = false;
+    Matrix next_centroids;
+    // Try to split each cluster in two; keep the split when local BIC says so.
+    for (std::size_t c = 0; c < current.centroids.rows(); ++c) {
+      std::vector<std::size_t> members;
+      for (std::size_t i = 0; i < n; ++i)
+        if (current.assign[i] == c) members.push_back(i);
+      if (members.size() < 4) {
+        if (next_centroids.cols() == 0) next_centroids = Matrix(0, m);
+        next_centroids.push_row(current.centroids.row(c));
+        continue;
+      }
+      Matrix local = z.gather(members);
+      KMeansResult one;
+      one.centroids = Matrix(0, m);
+      one.centroids.push_row(current.centroids.row(c));
+      one.assign.assign(members.size(), 0);
+      one.inertia = 0.0;
+      for (std::size_t i = 0; i < members.size(); ++i)
+        one.inertia += sq_dist(local.row(i), one.centroids.row(0));
+      KMeansResult two = kmeans(local, 2, rng);
+      if (next_centroids.cols() == 0) next_centroids = Matrix(0, m);
+      if (two.centroids.rows() == 2 && kmeans_bic(local, two) > kmeans_bic(local, one)) {
+        next_centroids.push_row(two.centroids.row(0));
+        next_centroids.push_row(two.centroids.row(1));
+        improved = true;
+      } else {
+        next_centroids.push_row(current.centroids.row(c));
+      }
+    }
+    if (improved) {
+      // Re-run global k-means seeded implicitly by the new k.
+      current = kmeans(z, std::min<std::size_t>(next_centroids.rows(), cfg_.k_max), rng);
+    }
+  }
+
+  centroids_ = current.centroids;
+  radius_.assign(centroids_.rows(), 0.0);
+  std::vector<std::size_t> counts(centroids_.rows(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    radius_[current.assign[i]] += sq_dist(z.row(i), centroids_.row(current.assign[i]));
+    ++counts[current.assign[i]];
+  }
+  for (std::size_t c = 0; c < radius_.size(); ++c) {
+    radius_[c] = counts[c] > 0 ? std::sqrt(radius_[c] / static_cast<double>(counts[c])) : 1.0;
+    radius_[c] = std::max(radius_[c], 1e-6);
+  }
+
+  std::vector<double> scores(benign.rows());
+  for (std::size_t i = 0; i < benign.rows(); ++i) scores[i] = score(benign.row(i));
+  std::sort(scores.begin(), scores.end());
+  const std::size_t qi = std::min(
+      scores.size() - 1,
+      static_cast<std::size_t>(cfg_.threshold_quantile * static_cast<double>(scores.size())));
+  threshold_ = scores[qi];
+}
+
+double XMeans::score(std::span<const double> x) {
+  if (!scaler_.fitted()) throw std::logic_error("XMeans: not fitted");
+  z_.resize(x.size());
+  scaler_.transform_row(x, z_);
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centroids_.rows(); ++c) {
+    best = std::min(best, std::sqrt(sq_dist(centroids_.row(c), z_)) / radius_[c]);
+  }
+  return best;
+}
+
+}  // namespace iguard::ml

@@ -1,0 +1,55 @@
+// X-means anomaly detector (Fig. 10 candidate; cf. Feng et al. 2022 which
+// pairs X-means with iForest). X-means (Pelleg & Moore, 2000) runs k-means
+// and recursively splits clusters while the Bayesian Information Criterion
+// improves, learning k automatically. Anomaly score of x = Euclidean
+// distance to the nearest learned centroid divided by that cluster's RMS
+// radius, so tight and loose clusters are comparable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/detector.hpp"
+#include "ml/scaler.hpp"
+
+namespace iguard::ml {
+
+/// Plain Lloyd k-means with k-means++ seeding (exposed for tests).
+struct KMeansResult {
+  Matrix centroids;                  // k x m
+  std::vector<std::size_t> assign;   // n
+  double inertia = 0.0;              // sum of squared distances
+};
+KMeansResult kmeans(const Matrix& x, std::size_t k, Rng& rng, std::size_t max_iter = 50);
+
+/// BIC of a spherical-Gaussian mixture fit (Pelleg & Moore formulation).
+double kmeans_bic(const Matrix& x, const KMeansResult& fit);
+
+struct XMeansConfig {
+  std::size_t k_min = 2;
+  std::size_t k_max = 16;
+  double threshold_quantile = 0.98;
+};
+
+class XMeans : public AnomalyDetector {
+ public:
+  explicit XMeans(XMeansConfig cfg = {}) : cfg_(cfg) {}
+
+  void fit(const Matrix& benign, Rng& rng) override;
+  double score(std::span<const double> x) override;
+  double threshold() const override { return threshold_; }
+  void set_threshold(double t) override { threshold_ = t; }
+  std::string name() const override { return "xmeans"; }
+
+  std::size_t cluster_count() const { return centroids_.rows(); }
+
+ private:
+  XMeansConfig cfg_;
+  StandardScaler scaler_;
+  Matrix centroids_;
+  std::vector<double> radius_;  // RMS distance of members to their centroid
+  double threshold_ = 0.0;
+  std::vector<double> z_;
+};
+
+}  // namespace iguard::ml

@@ -1,0 +1,71 @@
+#include "rules/range_rule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace iguard::rules {
+
+std::string to_string(const RangeRule& r) {
+  std::ostringstream os;
+  os << "label=" << r.label << " prio=" << r.priority << " ";
+  for (std::size_t i = 0; i < r.fields.size(); ++i) {
+    os << "f" << i << ":[" << r.fields[i].lo << "," << r.fields[i].hi << "]";
+    if (i + 1 < r.fields.size()) os << " ";
+  }
+  return os.str();
+}
+
+bool mergeable(const RangeRule& a, const RangeRule& b, std::size_t* diff_field) {
+  if (a.label != b.label || a.fields.size() != b.fields.size()) return false;
+  std::size_t diff = a.fields.size();
+  for (std::size_t i = 0; i < a.fields.size(); ++i) {
+    if (a.fields[i] == b.fields[i]) continue;
+    if (diff != a.fields.size()) return false;  // differ in >1 field
+    diff = i;
+  }
+  if (diff == a.fields.size()) {
+    // Identical rules merge trivially.
+    if (diff_field) *diff_field = 0;
+    return true;
+  }
+  const auto& fa = a.fields[diff];
+  const auto& fb = b.fields[diff];
+  // Adjacent or overlapping intervals form one interval.
+  const bool joinable =
+      (fa.hi >= fb.lo || fa.hi + 1 == fb.lo) && (fb.hi >= fa.lo || fb.hi + 1 == fa.lo);
+  if (joinable && diff_field) *diff_field = diff;
+  return joinable;
+}
+
+std::vector<RangeRule> merge_rules(std::vector<RangeRule> rules) {
+  // Quadratic pairwise merging is fine for the rule-set sizes a switch can
+  // hold; for pathological inputs we bail out rather than burn minutes.
+  constexpr std::size_t kMergeCap = 6000;
+  if (rules.size() > kMergeCap) return rules;
+
+  std::vector<bool> dead(rules.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (dead[i]) continue;
+      for (std::size_t j = i + 1; j < rules.size(); ++j) {
+        if (dead[j]) continue;
+        std::size_t f = 0;
+        if (!mergeable(rules[i], rules[j], &f)) continue;
+        rules[i].fields[f].lo = std::min(rules[i].fields[f].lo, rules[j].fields[f].lo);
+        rules[i].fields[f].hi = std::max(rules[i].fields[f].hi, rules[j].fields[f].hi);
+        rules[i].priority = std::min(rules[i].priority, rules[j].priority);
+        dead[j] = true;
+        changed = true;  // rules[i] grew; rescan against it next round
+      }
+    }
+  }
+  std::vector<RangeRule> out;
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (!dead[i]) out.push_back(std::move(rules[i]));
+  }
+  return out;
+}
+
+}  // namespace iguard::rules

@@ -1,0 +1,50 @@
+// Whitelist rule representation. A rule is a conjunction of closed integer
+// ranges, one per (quantised) feature field — i.e. an axis-aligned hypercube
+// in feature space, exactly what a root-to-leaf path of an iTree denotes and
+// what a match-action table can match with range or ternary entries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace iguard::rules {
+
+/// Closed integer interval [lo, hi]. Empty iff lo > hi.
+struct FieldRange {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+
+  bool contains(std::uint32_t v) const { return lo <= v && v <= hi; }
+  bool empty() const { return lo > hi; }
+  bool operator==(const FieldRange&) const = default;
+};
+
+struct RangeRule {
+  std::vector<FieldRange> fields;
+  int label = 0;       // 0 = benign/whitelist, 1 = malicious
+  int priority = 0;    // lower value = matched first
+
+  bool matches(std::span<const std::uint32_t> key) const {
+    if (key.size() != fields.size()) return false;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (!fields[i].contains(key[i])) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const RangeRule&) const = default;
+};
+
+std::string to_string(const RangeRule& r);
+
+/// True if the two rules' hypercubes can be merged into one hypercube:
+/// identical on every field except one where they are adjacent or
+/// overlapping (the purple-box merge of the paper's Fig. 3c).
+bool mergeable(const RangeRule& a, const RangeRule& b, std::size_t* diff_field = nullptr);
+
+/// Greedy pass merging adjacent same-label rules until fixpoint.
+std::vector<RangeRule> merge_rules(std::vector<RangeRule> rules);
+
+}  // namespace iguard::rules

@@ -1,0 +1,32 @@
+#include "rules/rule_table.hpp"
+
+#include <algorithm>
+
+namespace iguard::rules {
+
+void RuleTable::set_rules(std::vector<RangeRule> rules) {
+  rules_ = std::move(rules);
+  std::stable_sort(rules_.begin(), rules_.end(),
+                   [](const RangeRule& a, const RangeRule& b) { return a.priority < b.priority; });
+}
+
+void RuleTable::add_rule(RangeRule rule) {
+  auto pos = std::upper_bound(
+      rules_.begin(), rules_.end(), rule,
+      [](const RangeRule& a, const RangeRule& b) { return a.priority < b.priority; });
+  rules_.insert(pos, std::move(rule));
+}
+
+std::optional<RangeRule> RuleTable::match(std::span<const std::uint32_t> key) const {
+  for (const auto& r : rules_) {
+    if (r.matches(key)) return r;
+  }
+  return std::nullopt;
+}
+
+int RuleTable::classify(std::span<const std::uint32_t> key) const {
+  const auto m = match(key);
+  return m ? m->label : 1;
+}
+
+}  // namespace iguard::rules

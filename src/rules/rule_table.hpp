@@ -1,0 +1,37 @@
+// Priority-ordered whitelist rule table — the software twin of the switch's
+// whitelist match stage. Whitelist semantics: a key that matches any
+// label-0 rule is benign; a key matching no rule (or only label-1 rules,
+// when present) is treated as malicious.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rules/range_rule.hpp"
+
+namespace iguard::rules {
+
+class RuleTable {
+ public:
+  RuleTable() = default;
+  explicit RuleTable(std::vector<RangeRule> rules) { set_rules(std::move(rules)); }
+
+  void set_rules(std::vector<RangeRule> rules);
+  void add_rule(RangeRule rule);
+
+  std::size_t size() const { return rules_.size(); }
+  const std::vector<RangeRule>& rules() const { return rules_; }
+
+  /// First matching rule in priority order.
+  std::optional<RangeRule> match(std::span<const std::uint32_t> key) const;
+
+  /// Classification under whitelist semantics: 0 if a benign rule matches,
+  /// else 1 (no-match defaults to malicious).
+  int classify(std::span<const std::uint32_t> key) const;
+
+ private:
+  std::vector<RangeRule> rules_;  // kept sorted by priority
+};
+
+}  // namespace iguard::rules

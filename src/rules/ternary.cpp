@@ -1,0 +1,60 @@
+#include "rules/ternary.hpp"
+
+#include <stdexcept>
+
+namespace iguard::rules {
+
+namespace {
+std::uint64_t domain_size(unsigned bits) { return 1ull << bits; }
+
+// Iterate the maximal aligned blocks covering [lo, hi]; calls f(start, size).
+template <typename F>
+void for_each_block(std::uint64_t lo, std::uint64_t hi, unsigned bits, F&& f) {
+  if (bits == 0 || bits > 32) throw std::invalid_argument("bits must be in [1,32]");
+  if (lo > hi || hi >= domain_size(bits)) throw std::invalid_argument("bad range");
+  while (lo <= hi) {
+    // Largest power-of-two block starting at lo...
+    std::uint64_t size = lo == 0 ? domain_size(bits) : (lo & ~(lo - 1));
+    // ...that still fits inside [lo, hi].
+    while (lo + size - 1 > hi) size >>= 1;
+    f(lo, size);
+    lo += size;
+    if (lo == 0) break;  // wrapped past the domain top
+  }
+}
+}  // namespace
+
+std::vector<TernaryMatch> expand_range(std::uint32_t lo, std::uint32_t hi, unsigned bits) {
+  std::vector<TernaryMatch> out;
+  const std::uint32_t full = bits >= 32 ? 0xFFFFFFFFu : static_cast<std::uint32_t>(domain_size(bits) - 1);
+  for_each_block(lo, hi, bits, [&](std::uint64_t start, std::uint64_t size) {
+    TernaryMatch t;
+    t.mask = full & ~static_cast<std::uint32_t>(size - 1);
+    t.value = static_cast<std::uint32_t>(start) & t.mask;
+    out.push_back(t);
+  });
+  return out;
+}
+
+std::size_t expansion_count(std::uint32_t lo, std::uint32_t hi, unsigned bits) {
+  std::size_t n = 0;
+  for_each_block(lo, hi, bits, [&](std::uint64_t, std::uint64_t) { ++n; });
+  return n;
+}
+
+std::size_t tcam_entries(const RangeRule& rule, unsigned bits) {
+  std::size_t product = 1;
+  for (const auto& f : rule.fields) {
+    if (f.empty()) return 0;
+    product *= expansion_count(f.lo, f.hi, bits);
+  }
+  return product;
+}
+
+std::size_t tcam_entries(const std::vector<RangeRule>& rules, unsigned bits) {
+  std::size_t total = 0;
+  for (const auto& r : rules) total += tcam_entries(r, bits);
+  return total;
+}
+
+}  // namespace iguard::rules

@@ -1,0 +1,37 @@
+// Range -> ternary (prefix) expansion. TCAMs match value/mask entries, not
+// ranges, so each integer range is covered by a minimal set of aligned
+// power-of-two blocks (prefixes); a multi-field range rule expands to the
+// cross product of its per-field covers. The expansion count is what the
+// RMT resource model charges against the TCAM budget — and why iGuard's
+// fewer/coarser leaves translate into the lower TCAM use of Table 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rules/range_rule.hpp"
+
+namespace iguard::rules {
+
+/// One TCAM word per field: matches v iff (v & mask) == value.
+struct TernaryMatch {
+  std::uint32_t value = 0;
+  std::uint32_t mask = 0;
+
+  bool matches(std::uint32_t v) const { return (v & mask) == value; }
+  bool operator==(const TernaryMatch&) const = default;
+};
+
+/// Minimal prefix cover of [lo, hi] within a `bits`-wide domain.
+std::vector<TernaryMatch> expand_range(std::uint32_t lo, std::uint32_t hi, unsigned bits);
+
+/// Number of prefixes expand_range would produce (no allocation).
+std::size_t expansion_count(std::uint32_t lo, std::uint32_t hi, unsigned bits);
+
+/// TCAM entries consumed by one multi-field range rule (cross product).
+std::size_t tcam_entries(const RangeRule& rule, unsigned bits);
+
+/// Total TCAM entries for a rule set.
+std::size_t tcam_entries(const std::vector<RangeRule>& rules, unsigned bits);
+
+}  // namespace iguard::rules

@@ -1,0 +1,136 @@
+#include "switchsim/flow_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace iguard::switchsim {
+
+namespace {
+constexpr std::uint64_t kMaxIpdUs = 1ull << 26;  // ~67 s clamp
+
+std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) {
+  return a > std::numeric_limits<std::uint64_t>::max() - b
+             ? std::numeric_limits<std::uint64_t>::max()
+             : a + b;
+}
+
+std::uint64_t to_us(double ts) {
+  return static_cast<std::uint64_t>(std::max(0.0, ts) * 1e6);
+}
+}  // namespace
+
+void IntFlowState::update(const traffic::Packet& p, std::uint64_t flow_sig) {
+  const std::uint64_t now = to_us(p.ts);
+  const std::uint32_t size = p.length;
+  if (pkt_count == 0) {
+    sig = flow_sig;
+    first_ts_us = now;
+    min_size = max_size = size;
+  } else {
+    const std::uint64_t gap = std::min(now > last_ts_us ? now - last_ts_us : 0, kMaxIpdUs);
+    const std::uint32_t gap32 = static_cast<std::uint32_t>(gap);
+    if (pkt_count == 1) {
+      min_ipd_us = max_ipd_us = gap32;
+    } else {
+      min_ipd_us = std::min(min_ipd_us, gap32);
+      max_ipd_us = std::max(max_ipd_us, gap32);
+    }
+    sum_ipd_us = saturating_add(sum_ipd_us, gap);
+    sum_sq_ipd_us = saturating_add(sum_sq_ipd_us, gap * gap);
+    min_size = std::min(min_size, size);
+    max_size = std::max(max_size, size);
+  }
+  total_size += size;
+  sum_sq_size = saturating_add(sum_sq_size, static_cast<std::uint64_t>(size) * size);
+  last_ts_us = now;
+  truth_malicious = truth_malicious || p.malicious;
+  ++pkt_count;
+}
+
+void IntFlowState::clear_features() {
+  const std::int8_t keep_label = label;
+  const std::uint64_t keep_sig = sig;
+  *this = IntFlowState{};
+  label = keep_label;
+  sig = keep_sig;
+}
+
+std::array<double, kSwitchFlFeatures> IntFlowState::finalize() const {
+  const std::uint64_t n = std::max<std::uint32_t>(pkt_count, 1);
+  const std::uint64_t gaps = pkt_count > 1 ? pkt_count - 1 : 1;
+
+  // Integer division first — the precision a switch pipeline would have.
+  const std::uint64_t mean_size = total_size / n;
+  const std::uint64_t mean_sq_size = sum_sq_size / n;
+  const std::uint64_t var_size =
+      mean_sq_size > mean_size * mean_size ? mean_sq_size - mean_size * mean_size : 0;
+  const std::uint64_t mean_ipd = sum_ipd_us / gaps;
+  const std::uint64_t mean_sq_ipd = sum_sq_ipd_us / gaps;
+  const std::uint64_t var_ipd =
+      mean_sq_ipd > mean_ipd * mean_ipd ? mean_sq_ipd - mean_ipd * mean_ipd : 0;
+  const std::uint64_t duration_us = last_ts_us > first_ts_us ? last_ts_us - first_ts_us : 0;
+
+  const double us = 1e-6, us2 = 1e-12;
+  return {static_cast<double>(pkt_count),
+          static_cast<double>(total_size),
+          static_cast<double>(mean_size),
+          std::sqrt(static_cast<double>(var_size)),
+          static_cast<double>(var_size),
+          static_cast<double>(min_size),
+          static_cast<double>(max_size),
+          static_cast<double>(mean_ipd) * us,
+          pkt_count > 1 ? static_cast<double>(min_ipd_us) * us : 0.0,
+          static_cast<double>(var_ipd) * us2,
+          std::sqrt(static_cast<double>(var_ipd)) * us,
+          pkt_count > 1 ? static_cast<double>(max_ipd_us) * us : 0.0,
+          static_cast<double>(duration_us) * us};
+}
+
+features::FlowDataset extract_switch_features(const traffic::Trace& trace,
+                                              std::size_t packet_threshold_n,
+                                              double idle_timeout_delta_s,
+                                              std::size_t min_packets) {
+  struct KeyHash {
+    std::size_t operator()(const traffic::FiveTuple& ft) const {
+      return static_cast<std::size_t>(traffic::bihash(ft));
+    }
+  };
+  struct KeyEq {
+    bool operator()(const traffic::FiveTuple& a, const traffic::FiveTuple& b) const {
+      return a == b || a == b.reversed();
+    }
+  };
+  std::unordered_map<traffic::FiveTuple, IntFlowState, KeyHash, KeyEq> table;
+
+  features::FlowDataset out;
+  out.x = ml::Matrix(0, kSwitchFlFeatures);
+  auto emit = [&](const IntFlowState& st) {
+    if (st.pkt_count < min_packets) return;
+    const auto f = st.finalize();
+    out.x.push_row(f);
+    out.labels.push_back(st.truth_malicious ? 1 : 0);
+  };
+
+  const std::uint64_t delta_us =
+      static_cast<std::uint64_t>(std::max(0.0, idle_timeout_delta_s) * 1e6);
+  for (const auto& p : trace.packets) {
+    auto& st = table[p.ft];
+    const std::uint64_t now = static_cast<std::uint64_t>(std::max(0.0, p.ts) * 1e6);
+    if (delta_us > 0 && st.pkt_count > 0 && now > st.last_ts_us &&
+        now - st.last_ts_us > delta_us) {
+      emit(st);
+      st = IntFlowState{};
+    }
+    st.update(p, traffic::bihash(p.ft));
+    if (packet_threshold_n > 0 && st.pkt_count >= packet_threshold_n) {
+      emit(st);
+      st = IntFlowState{};
+    }
+  }
+  for (const auto& [ft, st] : table) emit(st);
+  return out;
+}
+
+}  // namespace iguard::switchsim

@@ -1,0 +1,63 @@
+// Integer per-flow state — the registers a Tofino data plane can actually
+// keep (§3.3.1). Timestamps and IPDs are microseconds; sizes are bytes; all
+// arithmetic is integer with saturation, and derived features (means,
+// variances) use integer division, modelling the precision the switch
+// loses versus the float pipeline. The same finalisation is used both by
+// the data-plane simulator and by the offline extractor that produces the
+// testbed *training* matrices, so rules always match what the switch
+// computes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "features/flow_features.hpp"
+#include "trafficgen/packet.hpp"
+
+namespace iguard::switchsim {
+
+constexpr std::size_t kSwitchFlFeatures = 13;
+
+struct IntFlowState {
+  std::uint64_t sig = 0;  // bi-hash flow signature; 0 = empty slot
+  std::uint32_t pkt_count = 0;
+  std::uint64_t total_size = 0;
+  std::uint64_t sum_sq_size = 0;
+  std::uint32_t min_size = 0;
+  std::uint32_t max_size = 0;
+  std::uint64_t first_ts_us = 0;
+  std::uint64_t last_ts_us = 0;
+  std::uint64_t sum_ipd_us = 0;
+  std::uint64_t sum_sq_ipd_us = 0;  // saturating
+  std::uint32_t min_ipd_us = 0;
+  std::uint32_t max_ipd_us = 0;
+  std::int8_t label = -1;  // flow label storage: -1 = unclassified
+  bool truth_malicious = false;  // ground truth (evaluation only)
+
+  bool empty() const { return sig == 0; }
+
+  /// Register update for one packet (IPD clamped to ~67 s so the squared
+  /// accumulator cannot overflow within any packet-threshold window).
+  void update(const traffic::Packet& p, std::uint64_t flow_sig);
+
+  /// Clear the feature registers but keep the flow label (the paper keeps
+  /// flow-label storage separate from FL-feature storage).
+  void clear_features();
+
+  /// Integer-derived 13 FL features, index-aligned with
+  /// features::feature_names(kSwitch13). Durations/IPDs are in seconds
+  /// (converted from integer microseconds at the end).
+  std::array<double, kSwitchFlFeatures> finalize() const;
+};
+
+/// Offline switch-like extraction: exact (collision-free) bidirectional
+/// keying but *integer* arithmetic and the same truncation semantics the
+/// data plane applies — emit at the n-th packet or after idle > delta.
+/// This is how the testbed experiments build their training matrices.
+features::FlowDataset extract_switch_features(const traffic::Trace& trace,
+                                              std::size_t packet_threshold_n,
+                                              double idle_timeout_delta_s,
+                                              std::size_t min_packets = 2);
+
+}  // namespace iguard::switchsim

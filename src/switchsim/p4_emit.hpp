@@ -1,0 +1,37 @@
+// P4-16 code generation: emit the Tofino-style program a compiled iGuard
+// deployment corresponds to — parser, the stateful registers of Fig. 4, one
+// range-match whitelist table per tree with a match-count vote, the PL
+// early-packet tables, the blacklist, and digest generation. The output is
+// the *artifact* the paper ships (its GitHub repo is a P4 program); here it
+// is generated from the trained model so rules and program always agree.
+//
+// The emitted dialect is v1model-flavoured P4-16 (portable, no vendor
+// externs), with the Tofino-specific pieces (mirroring, digests) kept to
+// standard-library constructs; it is meant for inspection and for driving
+// table-entry generation, not for compiling against a proprietary SDE.
+#pragma once
+
+#include <string>
+
+#include "core/iguard.hpp"
+#include "switchsim/pipeline.hpp"
+
+namespace iguard::switchsim {
+
+struct P4EmitOptions {
+  std::string program_name = "iguard";
+  std::size_t flow_slots = 4096;
+  std::size_t blacklist_capacity = 4096;
+  std::size_t packet_threshold_n = 32;
+  std::uint32_t idle_timeout_us = 10'000'000;
+};
+
+/// The P4-16 program skeleton for the given deployment (tables sized from
+/// the compiled whitelists; field widths from the quantisers).
+std::string emit_p4_program(const DeployedModel& model, const P4EmitOptions& opts = {});
+
+/// Control-plane table entries: one line per rule, in a P4Runtime-like
+/// text form `table_add <table> <action> <ranges...> => <prio>`.
+std::string emit_table_entries(const DeployedModel& model);
+
+}  // namespace iguard::switchsim

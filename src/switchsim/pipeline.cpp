@@ -1,0 +1,122 @@
+#include "switchsim/pipeline.hpp"
+
+#include <stdexcept>
+
+namespace iguard::switchsim {
+
+namespace {
+void count(SimStats& s, Path p) { ++s.path_count[static_cast<std::size_t>(p)]; }
+}  // namespace
+
+Pipeline::Pipeline(const PipelineConfig& cfg, const DeployedModel& model)
+    : cfg_(cfg),
+      model_(model),
+      store_(cfg.flow_slots),
+      blacklist_(cfg.blacklist_capacity, cfg.eviction),
+      controller_(blacklist_) {
+  if (model_.fl_tables == nullptr || model_.fl_quantizer == nullptr) {
+    throw std::invalid_argument("Pipeline: FL rules are mandatory");
+  }
+}
+
+int Pipeline::classify_pl(const traffic::Packet& p) const {
+  if (model_.pl_tables == nullptr || model_.pl_quantizer == nullptr) return 0;
+  const double f[4] = {static_cast<double>(p.ft.dst_port), static_cast<double>(p.ft.proto),
+                       static_cast<double>(p.length), static_cast<double>(p.ttl)};
+  return model_.pl_tables->classify(model_.pl_quantizer->quantize(f));
+}
+
+int Pipeline::classify_fl(const IntFlowState& st) const {
+  const auto f = st.finalize();
+  return model_.fl_tables->classify(model_.fl_quantizer->quantize(f));
+}
+
+void Pipeline::finalize_flow(const traffic::Packet& p, IntFlowState& st, SimStats& stats) {
+  const int label = classify_fl(st);
+  st.label = static_cast<std::int8_t>(label);
+  ++stats.flows_classified;
+  // Digest (5-tuple + label) regardless of match outcome (§2, step 10a).
+  controller_.on_digest({p.ft, label});
+  if (label == 0) {
+    // Egress mirror of benign FL features to the CPU for whitelist updates.
+    ++stats.benign_feature_mirrors;
+  }
+  st.clear_features();
+  // Mirror to loopback to commit the label (green path, simulated inline).
+  count(stats, Path::kGreen);
+}
+
+int Pipeline::process(const traffic::Packet& p, SimStats& stats) {
+  ++stats.packets;
+  stats.truth.push_back(p.malicious ? 1 : 0);
+  int verdict = 0;
+
+  if (blacklist_.contains(p.ft)) {
+    // --- red -----------------------------------------------------------
+    count(stats, Path::kRed);
+    ++stats.blacklist_hits;
+    verdict = 1;
+  } else {
+    auto acc = store_.access(p.ft);
+    if (acc.collision) {
+      // --- orange --------------------------------------------------------
+      count(stats, Path::kOrange);
+      ++stats.collisions;
+      IntFlowState& resident = *acc.state;
+      if (resident.label >= 0) {
+        // Resident flow already classified: reclaim the slot for this flow.
+        store_.clear_slot(resident);
+        resident.update(p, store_.signature(p.ft));
+        count(stats, Path::kGreen);  // loopback mirror re-initialises flow ID
+      }
+      verdict = classify_pl(p);
+    } else {
+      IntFlowState& st = *acc.state;
+      if (acc.found && st.label >= 0) {
+        // --- purple --------------------------------------------------------
+        count(stats, Path::kPurple);
+        verdict = st.label;
+      } else {
+        const std::uint64_t now_us = static_cast<std::uint64_t>(p.ts * 1e6);
+        const std::uint64_t delta_us =
+            static_cast<std::uint64_t>(cfg_.idle_timeout_delta * 1e6);
+        const bool timed_out = cfg_.idle_timeout_delta > 0.0 && st.pkt_count > 0 &&
+                               now_us > st.last_ts_us && now_us - st.last_ts_us > delta_us;
+        if (timed_out) {
+          // --- blue (timeout flavour) --------------------------------------
+          // The idle flow is finalised with what it had; the current packet
+          // was unaccounted for, so it gets a PL verdict (green-path note).
+          count(stats, Path::kBlue);
+          finalize_flow(p, st, stats);
+          verdict = classify_pl(p);
+        } else {
+          st.update(p, store_.signature(p.ft));
+          if (cfg_.packet_threshold_n > 0 && st.pkt_count >= cfg_.packet_threshold_n) {
+            // --- blue (n-th packet) ----------------------------------------
+            count(stats, Path::kBlue);
+            finalize_flow(p, st, stats);
+            verdict = st.label;
+          } else {
+            // --- brown -----------------------------------------------------
+            count(stats, Path::kBrown);
+            verdict = classify_pl(p);
+          }
+        }
+      }
+    }
+  }
+
+  stats.pred.push_back(static_cast<std::uint8_t>(verdict));
+  if (verdict == 1) ++stats.dropped;
+  return verdict;
+}
+
+SimStats Pipeline::run(const traffic::Trace& trace) {
+  SimStats stats;
+  stats.pred.reserve(trace.size());
+  stats.truth.reserve(trace.size());
+  for (const auto& p : trace.packets) process(p, stats);
+  return stats;
+}
+
+}  // namespace iguard::switchsim

@@ -1,0 +1,95 @@
+// Behavioural model of iGuard's data plane (Fig. 4): per packet, the
+// pipeline consults the blacklist, the double-hashed flow storage, and the
+// whitelist rule tables, and takes one of the six execution paths the paper
+// colour-codes. The controller runs in lockstep (digest -> blacklist
+// install) — control-plane latency is modelled in timing.hpp, not by
+// delaying installs here.
+//
+//   red    — 5-tuple blacklisted: drop immediately.
+//   brown  — tracked flow, packets 1..n-1, no timeout: update registers,
+//            verdict from the PL (early-packet) whitelist.
+//   blue   — n-th packet or idle timeout: finalise FL features, match the
+//            FL whitelist, store the flow label, digest to the controller,
+//            clear feature registers, mirror to loopback.
+//   orange — both hash ways occupied by other flows: if the resident is
+//            already classified, evict and re-initialise with this packet;
+//            either way this packet gets a PL verdict.
+//   purple — flow label already 0/1: early per-packet decision.
+//   green  — the loopback-mirrored copy (simulated synchronously when blue
+//            or orange mirror; counted so path statistics match Fig. 4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/whitelist.hpp"
+#include "rules/quantize.hpp"
+#include "switchsim/registers.hpp"
+#include "switchsim/tables.hpp"
+
+namespace iguard::switchsim {
+
+/// Rule tables + quantisers a trained model deploys onto the switch. Each
+/// whitelist is a per-tree table set with a match-count vote (how forest
+/// models fit RMT hardware; see core::VoteWhitelist).
+struct DeployedModel {
+  const core::VoteWhitelist* fl_tables = nullptr;
+  const rules::Quantizer* fl_quantizer = nullptr;  // over the 13 FL features
+  const core::VoteWhitelist* pl_tables = nullptr;  // optional early-packet rules
+  const rules::Quantizer* pl_quantizer = nullptr;
+};
+
+struct PipelineConfig {
+  std::size_t packet_threshold_n = 32;  // the paper's n
+  double idle_timeout_delta = 10.0;     // the paper's delta, seconds
+  std::size_t flow_slots = 4096;        // per hash table
+  std::size_t blacklist_capacity = 4096;
+  EvictionPolicy eviction = EvictionPolicy::kFifo;
+};
+
+enum class Path : std::size_t { kRed = 0, kBrown, kBlue, kOrange, kPurple, kGreen };
+
+struct SimStats {
+  std::array<std::size_t, 6> path_count{};
+  std::size_t packets = 0;
+  std::size_t dropped = 0;
+  std::size_t blacklist_hits = 0;
+  std::size_t collisions = 0;
+  std::size_t flows_classified = 0;
+  std::size_t benign_feature_mirrors = 0;  // egress mirror for rule updates
+  // Per-packet verdict (1 = dropped/malicious) and ground truth, for the
+  // paper's per-packet detection metrics.
+  std::vector<std::uint8_t> pred;
+  std::vector<std::uint8_t> truth;
+
+  std::size_t path(Path p) const { return path_count[static_cast<std::size_t>(p)]; }
+};
+
+class Pipeline {
+ public:
+  Pipeline(const PipelineConfig& cfg, const DeployedModel& model);
+
+  /// Process one packet; returns the verdict (1 = drop as malicious).
+  int process(const traffic::Packet& p, SimStats& stats);
+
+  /// Replay a whole trace.
+  SimStats run(const traffic::Trace& trace);
+
+  const Controller& controller() const { return controller_; }
+  const BlacklistTable& blacklist() const { return blacklist_; }
+  const FlowStore& flow_store() const { return store_; }
+
+ private:
+  int classify_pl(const traffic::Packet& p) const;
+  int classify_fl(const IntFlowState& st) const;
+  void finalize_flow(const traffic::Packet& p, IntFlowState& st, SimStats& stats);
+
+  PipelineConfig cfg_;
+  DeployedModel model_;
+  FlowStore store_;
+  BlacklistTable blacklist_;
+  Controller controller_;
+};
+
+}  // namespace iguard::switchsim

@@ -1,0 +1,45 @@
+// Stateful flow storage: two register tables indexed by two independent
+// hashes of the bidirectional flow signature (HorusEye's bi-hash + double
+// hash table scheme, §3.3.1). A flow lives in whichever table had a free or
+// matching slot first; when both candidate slots are occupied by other
+// flows the access reports a collision and the pipeline takes the orange
+// path of Fig. 4.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "switchsim/flow_state.hpp"
+#include "trafficgen/packet.hpp"
+
+namespace iguard::switchsim {
+
+class FlowStore {
+ public:
+  explicit FlowStore(std::size_t slots_per_table, std::uint64_t seed = 0x5117c4);
+
+  struct Access {
+    IntFlowState* state = nullptr;  // resident slot (matching, fresh, or the
+                                    // colliding occupant, by case)
+    bool found = false;             // slot already held this flow
+    bool inserted = false;          // empty slot claimed for this flow
+    bool collision = false;         // both candidate slots occupied by others
+  };
+
+  /// Look up (or claim a slot for) the flow with the given 5-tuple.
+  Access access(const traffic::FiveTuple& ft);
+
+  /// Signature used for slot ownership checks.
+  std::uint64_t signature(const traffic::FiveTuple& ft) const;
+
+  void clear_slot(IntFlowState& st) { st = IntFlowState{}; }
+
+  std::size_t slots_per_table() const { return table1_.size(); }
+  std::size_t occupied() const;
+
+ private:
+  std::vector<IntFlowState> table1_, table2_;
+  std::uint64_t seed1_, seed2_, sig_seed_;
+};
+
+}  // namespace iguard::switchsim

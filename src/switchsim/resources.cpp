@@ -1,0 +1,71 @@
+#include "switchsim/resources.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rules/ternary.hpp"
+
+namespace iguard::switchsim {
+
+namespace {
+// TCAM bits for one rule set. Multi-field range rules are costed the way a
+// Tofino compiler realises them: each range field uses the `range` match
+// kind (nibble/DIRPE-style encoding, ~2x the field width in TCAM bits) and
+// the whole rule occupies ONE entry whose key spans ceil(key_bits/44)
+// TCAM words. (Naive per-field prefix cross-product expansion — available
+// as rules::tcam_entries() — is exponential in the field count and is not
+// what hardware does for multi-field range keys.)
+double tcam_bits_for(const core::VoteWhitelist* wl, unsigned field_bits,
+                     const TofinoBudget& b, std::size_t* entries_out) {
+  if (wl == nullptr) return 0.0;
+  const std::size_t entries = wl->total_rules();
+  if (entries == 0) return 0.0;
+  if (entries_out) *entries_out += entries;
+  std::size_t fields = 0;
+  for (const auto& t : wl->tables) {
+    if (!t.rules().empty()) {
+      fields = t.rules()[0].fields.size();
+      break;
+    }
+  }
+  const std::size_t key_bits = fields * 2 * field_bits;  // range-encoded width
+  const std::size_t words =
+      (key_bits + b.tcam_bits_per_entry - 1) / b.tcam_bits_per_entry;  // ceil
+  return static_cast<double>(entries * words * b.tcam_bits_per_entry);
+}
+}  // namespace
+
+ResourceUsage estimate_resources(const DeploymentSpec& spec, const TofinoBudget& budget) {
+  ResourceUsage u;
+
+  // --- TCAM: whitelist rule sets -------------------------------------------
+  std::size_t entries = 0;
+  double tcam_bits = 0.0;
+  tcam_bits += tcam_bits_for(spec.fl_rules, spec.fl_field_bits, budget, &entries);
+  tcam_bits += tcam_bits_for(spec.pl_rules, spec.pl_field_bits, budget, &entries);
+  u.tcam_entries = entries;
+  u.tcam_frac = tcam_bits / budget.tcam_bits_total();
+
+  // --- SRAM: flow state + blacklist + table overhead ------------------------
+  // Per flow slot: 64-bit signature, 11 feature/metadata registers of 32
+  // bits, two 48-bit timestamps => ~512 bits; two hash tables.
+  const double flow_bits = 2.0 * static_cast<double>(spec.flow_slots) * 512.0;
+  // Blacklist exact-match entry: 104-bit 5-tuple key + action + overhead
+  // (~1.4x for cuckoo/hash-way slack), padded to SRAM words.
+  const double blacklist_bits = static_cast<double>(spec.blacklist_capacity) * 1.4 * 128.0;
+  // Match-table overheads (action data, selectors) — small constant.
+  const double overhead_bits = 64.0 * 1024.0;
+  u.sram_bits = flow_bits + blacklist_bits + overhead_bits;
+  u.sram_frac = u.sram_bits / budget.sram_bits_total();
+
+  // --- sALU / VLIW / stages --------------------------------------------------
+  // One stateful ALU per register array the per-packet path updates; the
+  // double hash tables mirror the same registers, sharing each sALU.
+  const double salus = spec.flow_slots > 0 ? static_cast<double>(spec.stateful_registers) : 0.0;
+  u.salu_frac = salus / budget.salus_total();
+  u.vliw_frac = static_cast<double>(spec.vliw_slots) / budget.vliw_total();
+  u.stages = std::min(spec.pipeline_stages, budget.stages);
+  return u;
+}
+
+}  // namespace iguard::switchsim

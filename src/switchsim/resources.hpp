@@ -1,0 +1,83 @@
+// RMT (Tofino-1-style) resource model. Capacities follow the publicly
+// documented ballpark of a Tofino-1 pipe: 12 match-action stages; per stage
+// 24 TCAM blocks of 512 x 44 bit entries, 80 SRAM blocks of 1024 x 128 bit
+// words, 4 stateful ALUs, and 32 VLIW action-instruction slots. The model
+// charges a deployed iGuard/iForest program for:
+//   * TCAM  — whitelist rules after range->ternary expansion, at the key
+//             width the rule set needs (wide keys consume multiple blocks);
+//   * SRAM  — stateful flow storage (double hash tables), exact-match
+//             blacklist entries, and table overheads;
+//   * sALU  — one per register the per-packet path updates;
+//   * VLIW  — action instruction slots of the pipeline's tables;
+//   * stages — the dependency chain length of the Fig. 4 pipeline.
+// This reproduces the *comparison* of the paper's Table 1 (iGuard's extra
+// stopping criterion => fewer/coarser leaves => fewer TCAM entries), not
+// the authors' exact compiler output.
+#pragma once
+
+#include <cstddef>
+
+#include "core/whitelist.hpp"
+#include "rules/range_rule.hpp"
+
+namespace iguard::switchsim {
+
+struct TofinoBudget {
+  std::size_t stages = 12;
+  std::size_t tcam_blocks_per_stage = 24;   // 512 entries x 44 bits each
+  std::size_t tcam_entries_per_block = 512;
+  std::size_t tcam_bits_per_entry = 44;
+  std::size_t sram_blocks_per_stage = 80;   // 1024 words x 128 bits each
+  std::size_t sram_words_per_block = 1024;
+  std::size_t sram_bits_per_word = 128;
+  std::size_t salus_per_stage = 4;
+  std::size_t vliw_slots_per_stage = 32;
+
+  double tcam_bits_total() const {
+    return static_cast<double>(stages * tcam_blocks_per_stage * tcam_entries_per_block *
+                               tcam_bits_per_entry);
+  }
+  double sram_bits_total() const {
+    return static_cast<double>(stages * sram_blocks_per_stage * sram_words_per_block *
+                               sram_bits_per_word);
+  }
+  double salus_total() const { return static_cast<double>(stages * salus_per_stage); }
+  double vliw_total() const { return static_cast<double>(stages * vliw_slots_per_stage); }
+};
+
+/// What a compiled deployment asks of the switch.
+struct DeploymentSpec {
+  // Whitelist vote-table sets (one rule table per tree) and field widths.
+  const core::VoteWhitelist* fl_rules = nullptr;
+  unsigned fl_field_bits = 16;
+  const core::VoteWhitelist* pl_rules = nullptr;
+  unsigned pl_field_bits = 16;
+  // Stateful storage sizing.
+  std::size_t flow_slots = 4096;        // per hash table; two tables total
+  std::size_t blacklist_capacity = 4096;
+  // Per-packet register updates (sALUs) of the Fig. 4 pipeline, after
+  // pairing 32-bit quantities into 64-bit registers the way a P4 compiler
+  // would: flow signature; pkt-count+label; total size; sum-sq size;
+  // min/max size; first+last timestamp; sum IPD; sum-sq IPD; min/max IPD.
+  std::size_t stateful_registers = 9;
+  // Action slots: parser/forward/drop/mirror/digest plus per-table actions.
+  std::size_t vliw_slots = 30;
+  std::size_t pipeline_stages = 12;
+};
+
+struct ResourceUsage {
+  double tcam_frac = 0.0;
+  double sram_frac = 0.0;
+  double salu_frac = 0.0;
+  double vliw_frac = 0.0;
+  std::size_t stages = 0;
+  std::size_t tcam_entries = 0;   // expanded entry count (diagnostics)
+  double sram_bits = 0.0;
+
+  /// Scalar memory-footprint measure rho of §4.2.1 (mean of the fractions).
+  double rho() const { return (tcam_frac + sram_frac + salu_frac + vliw_frac) / 4.0; }
+};
+
+ResourceUsage estimate_resources(const DeploymentSpec& spec, const TofinoBudget& budget = {});
+
+}  // namespace iguard::switchsim

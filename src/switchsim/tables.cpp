@@ -1,0 +1,57 @@
+#include "switchsim/tables.hpp"
+
+#include <algorithm>
+
+namespace iguard::switchsim {
+
+bool BlacklistTable::contains(const traffic::FiveTuple& ft) {
+  const auto it = entries_.find(key(ft));
+  if (it == entries_.end()) return false;
+  if (policy_ == EvictionPolicy::kLru) touch(it->first);
+  return true;
+}
+
+void BlacklistTable::touch(std::uint64_t k) {
+  entries_[k] = ++clock_;
+}
+
+void BlacklistTable::install(const traffic::FiveTuple& ft) {
+  if (capacity_ == 0) return;
+  const std::uint64_t k = key(ft);
+  if (entries_.contains(k)) {
+    if (policy_ == EvictionPolicy::kLru) touch(k);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    if (policy_ == EvictionPolicy::kFifo) {
+      while (!order_.empty() && !entries_.contains(order_.front())) order_.pop_front();
+      if (!order_.empty()) {
+        entries_.erase(order_.front());
+        order_.pop_front();
+        ++evictions_;
+      }
+    } else {
+      auto victim = std::min_element(entries_.begin(), entries_.end(),
+                                     [](const auto& a, const auto& b) {
+                                       return a.second < b.second;
+                                     });
+      if (victim != entries_.end()) {
+        entries_.erase(victim);
+        ++evictions_;
+      }
+    }
+  }
+  entries_[k] = ++clock_;
+  order_.push_back(k);
+}
+
+void Controller::on_digest(const Digest& d) {
+  ++digests_;
+  bytes_ += Digest::kBytes;
+  if (d.label == 1) {
+    blacklist_->install(d.ft);
+    ++installs_;
+  }
+}
+
+}  // namespace iguard::switchsim

@@ -1,0 +1,73 @@
+// Blacklist exact-match table and the control-plane controller. The
+// controller receives digests from the data plane whenever a flow's class is
+// determined (13 B five-tuple + 1-bit label, App. B.2), installs a blacklist
+// rule for malicious flows, and evicts old rules FIFO or LRU when the table
+// is full (§3.3.2).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <unordered_map>
+
+#include "trafficgen/packet.hpp"
+
+namespace iguard::switchsim {
+
+enum class EvictionPolicy { kFifo, kLru };
+
+class BlacklistTable {
+ public:
+  explicit BlacklistTable(std::size_t capacity, EvictionPolicy policy = EvictionPolicy::kFifo)
+      : capacity_(capacity), policy_(policy) {}
+
+  /// True if the 5-tuple (either direction) is blacklisted. LRU mode
+  /// refreshes recency on hit.
+  bool contains(const traffic::FiveTuple& ft);
+
+  /// Install a rule; evicts the oldest/least-recently-used entry when full.
+  void install(const traffic::FiveTuple& ft);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t evictions() const { return evictions_; }
+
+ private:
+  std::uint64_t key(const traffic::FiveTuple& ft) const { return traffic::bihash(ft, 0xB1AC); }
+  void touch(std::uint64_t k);
+
+  std::size_t capacity_;
+  EvictionPolicy policy_;
+  std::unordered_map<std::uint64_t, std::uint64_t> entries_;  // key -> stamp
+  std::deque<std::uint64_t> order_;                           // install/use order
+  std::uint64_t clock_ = 0;
+  std::size_t evictions_ = 0;
+};
+
+/// One digest message (data plane -> controller).
+struct Digest {
+  traffic::FiveTuple ft;
+  int label = 0;
+
+  /// Wire size: 13 B 5-tuple + 1 B carrying the 1-bit label (App. B.2).
+  static constexpr std::size_t kBytes = 14;
+};
+
+/// Control-plane counterpart: consumes digests, maintains the blacklist.
+class Controller {
+ public:
+  explicit Controller(BlacklistTable& blacklist) : blacklist_(&blacklist) {}
+
+  void on_digest(const Digest& d);
+
+  std::size_t digests_received() const { return digests_; }
+  std::size_t bytes_received() const { return bytes_; }
+  std::size_t rules_installed() const { return installs_; }
+
+ private:
+  BlacklistTable* blacklist_;
+  std::size_t digests_ = 0;
+  std::size_t bytes_ = 0;
+  std::size_t installs_ = 0;
+};
+
+}  // namespace iguard::switchsim

@@ -1,0 +1,30 @@
+#include "switchsim/timing.hpp"
+
+#include <algorithm>
+
+namespace iguard::switchsim {
+
+double pipeline_latency_ns(const TimingConfig& cfg) {
+  return cfg.per_stage_ns * static_cast<double>(cfg.stages);
+}
+
+ThroughputReport all_dataplane_throughput(const TimingConfig& cfg,
+                                          double mirror_byte_fraction) {
+  ThroughputReport r;
+  r.detour_fraction = std::clamp(mirror_byte_fraction, 0.0, 1.0);
+  r.gbps = cfg.line_rate_gbps * (1.0 - r.detour_fraction);
+  return r;
+}
+
+ThroughputReport control_assisted_throughput(const TimingConfig& cfg,
+                                             double suspicious_byte_fraction) {
+  ThroughputReport r;
+  r.detour_fraction = std::clamp(suspicious_byte_fraction, 0.0, 1.0);
+  const double fast = cfg.line_rate_gbps * (1.0 - r.detour_fraction);
+  const double slow =
+      std::min(cfg.line_rate_gbps * r.detour_fraction, cfg.control_plane_gbps);
+  r.gbps = fast + slow;
+  return r;
+}
+
+}  // namespace iguard::switchsim

@@ -1,0 +1,38 @@
+// Timing and throughput model (App. B.1). Latency of an RMT pipeline is the
+// stage count times the per-stage traversal time; throughput depends on the
+// architecture: iGuard decides entirely in the data plane (full line rate
+// minus the small mirror/digest overhead), while control-plane-assisted
+// designs (HorusEye-style) must detour suspicious traffic through a
+// CPU-bound detector, capping that share at the control path's capacity.
+#pragma once
+
+#include <cstddef>
+
+namespace iguard::switchsim {
+
+struct TimingConfig {
+  double per_stage_ns = 44.4;        // Tofino-1 ballpark stage traversal
+  std::size_t stages = 12;
+  double line_rate_gbps = 40.0;      // the testbed's 40 Gbps link
+  double control_plane_gbps = 3.8;   // CPU-side detection capacity
+};
+
+/// End-to-end pipeline latency for one packet, nanoseconds.
+double pipeline_latency_ns(const TimingConfig& cfg);
+
+struct ThroughputReport {
+  double gbps = 0.0;
+  double detour_fraction = 0.0;  // share of traffic leaving the fast path
+};
+
+/// iGuard: everything decided at line rate; only truncated mirrors/digests
+/// leave the data plane (`mirror_byte_fraction` of offered load).
+ThroughputReport all_dataplane_throughput(const TimingConfig& cfg,
+                                          double mirror_byte_fraction);
+
+/// HorusEye-style: `suspicious_byte_fraction` of offered load needs the
+/// control-plane autoencoder; that share is capped by control_plane_gbps.
+ThroughputReport control_assisted_throughput(const TimingConfig& cfg,
+                                             double suspicious_byte_fraction);
+
+}  // namespace iguard::switchsim

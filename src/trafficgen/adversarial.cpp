@@ -1,0 +1,75 @@
+#include "trafficgen/adversarial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iguard::traffic {
+
+void apply_low_rate(std::vector<FlowSpec>& specs, double factor) {
+  for (auto& s : specs) {
+    s.ipd_mean *= factor;
+    // A throttled flood also sends fewer packets inside the capture window.
+    s.packets = std::max<std::size_t>(
+        2, static_cast<std::size_t>(static_cast<double>(s.packets) / std::sqrt(factor)));
+  }
+}
+
+std::vector<FlowSpec> poison_training_flows(const std::vector<FlowSpec>& benign,
+                                            AttackType type, double fraction,
+                                            const AttackConfig& cfg, ml::Rng& rng) {
+  std::vector<FlowSpec> out = benign;
+  AttackConfig pcfg = cfg;
+  pcfg.flows = static_cast<std::size_t>(fraction * static_cast<double>(benign.size()));
+  auto poison = attack_flows(type, pcfg, rng);
+  std::uint32_t next_id = static_cast<std::uint32_t>(benign.size());
+  for (auto& s : poison) {
+    s.flow_id = next_id++;
+    out.push_back(s);
+  }
+  return out;
+}
+
+Trace evasion_trace(AttackType type, const AttackConfig& cfg, const EvasionConfig& ev,
+                    ml::Rng& rng) {
+  auto specs = attack_flows(type, cfg, rng);
+  Trace out;
+  for (const auto& s : specs) {
+    double t = s.start;
+    for (std::size_t i = 0; i < s.packets; ++i) {
+      // The gap the attack would have used, now shared by 1 + r packets.
+      const double jitter = s.ipd_jitter_sigma > 0.0
+                                ? std::exp(s.ipd_jitter_sigma * rng.normal() -
+                                           0.5 * s.ipd_jitter_sigma * s.ipd_jitter_sigma)
+                                : 1.0;
+      const double gap = std::max(1e-7, s.ipd_mean * jitter);
+      const double sub_gap = gap / static_cast<double>(1 + ev.chaff_per_packet);
+
+      Packet p;
+      p.ft = s.ft;
+      p.ttl = s.ttl;
+      p.malicious = true;
+      p.flow_id = s.flow_id;
+
+      p.ts = t;
+      p.length = static_cast<std::uint16_t>(
+          std::clamp(rng.normal(s.size_mu, s.size_sigma), 40.0, 1500.0));
+      p.flags = (i == 0) ? s.first_flag
+                         : (s.ft.proto == kProtoTcp ? TcpFlag::kAck : TcpFlag::kNone);
+      out.packets.push_back(p);
+
+      for (std::size_t c = 0; c < ev.chaff_per_packet; ++c) {
+        Packet chaff = p;
+        chaff.ts = t + sub_gap * static_cast<double>(c + 1);
+        chaff.length = static_cast<std::uint16_t>(
+            std::clamp(rng.normal(ev.chaff_size_mu, ev.chaff_size_sigma), 40.0, 1500.0));
+        chaff.flags = s.ft.proto == kProtoTcp ? TcpFlag::kAck : TcpFlag::kNone;
+        out.packets.push_back(chaff);
+      }
+      t += gap;
+    }
+  }
+  out.sort_by_time();
+  return out;
+}
+
+}  // namespace iguard::traffic

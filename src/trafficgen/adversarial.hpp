@@ -1,0 +1,47 @@
+// Black-box adversarial workloads of the paper's Tables 2 and 3:
+//  * low-rate:  the attacker throttles a flood to 1/factor of its rate,
+//               hiding the volumetric signature (Table 2, "1/100");
+//  * poison:    a fraction of attack flows is slipped, unlabeled, into the
+//               benign training capture, corrupting every model trained on
+//               it (Table 2, "Mirai 2% / 10%");
+//  * evasion:   for every real attack packet the attacker interleaves r
+//               benign-mimicking chaff packets in the same flow, diluting
+//               the flow-level statistics toward benign (Table 3, "1:2",
+//               "1:4").
+#pragma once
+
+#include <vector>
+
+#include "ml/rng.hpp"
+#include "trafficgen/attacks.hpp"
+#include "trafficgen/flowspec.hpp"
+
+namespace iguard::traffic {
+
+/// Throttle: mean packet rate divided by `factor` (IPD multiplied).
+void apply_low_rate(std::vector<FlowSpec>& specs, double factor);
+
+/// Training-set poisoning: returns benign specs plus `fraction` * |benign|
+/// attack flows drawn with the given attack generator. The returned specs
+/// keep their ground-truth `malicious` bit (evaluation may inspect it) but
+/// training code treats the whole set as "benign capture".
+std::vector<FlowSpec> poison_training_flows(const std::vector<FlowSpec>& benign,
+                                            AttackType type, double fraction,
+                                            const AttackConfig& cfg, ml::Rng& rng);
+
+struct EvasionConfig {
+  /// Chaff packets inserted per real attack packet (the paper's 1:r).
+  std::size_t chaff_per_packet = 2;
+  /// Chaff size distribution: benign mid-manifold traffic.
+  double chaff_size_mu = 500.0;
+  double chaff_size_sigma = 280.0;
+};
+
+/// Emit packets for evasion-padded attack flows: each flow interleaves
+/// benign-mimicking chaff between its attack packets (same 5-tuple, so the
+/// flow-level statistics blend). All packets keep malicious=true ground
+/// truth — the flow *is* the attack.
+Trace evasion_trace(AttackType type, const AttackConfig& cfg, const EvasionConfig& ev,
+                    ml::Rng& rng);
+
+}  // namespace iguard::traffic

@@ -1,0 +1,240 @@
+#include "trafficgen/attacks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace iguard::traffic {
+
+std::vector<AttackType> all_attacks() {
+  return {AttackType::kMirai,        AttackType::kAidra,
+          AttackType::kBashlite,     AttackType::kUdpDdos,
+          AttackType::kTcpDdos,      AttackType::kHttpDdos,
+          AttackType::kOsScan,       AttackType::kServiceScan,
+          AttackType::kDataTheft,    AttackType::kKeylogging,
+          AttackType::kMiraiRouterFilter, AttackType::kOsScanRouter,
+          AttackType::kPortScanRouter,    AttackType::kTcpDdosRouter,
+          AttackType::kUdpDdosRouter};
+}
+
+std::vector<AttackType> headline_attacks() {
+  return {AttackType::kAidra, AttackType::kMirai, AttackType::kBashlite,
+          AttackType::kUdpDdos, AttackType::kOsScan};
+}
+
+std::string attack_name(AttackType a) {
+  switch (a) {
+    case AttackType::kMirai: return "Mirai";
+    case AttackType::kAidra: return "Aidra";
+    case AttackType::kBashlite: return "Bashlite";
+    case AttackType::kUdpDdos: return "UDP DDoS";
+    case AttackType::kTcpDdos: return "TCP DDoS";
+    case AttackType::kHttpDdos: return "HTTP DDoS";
+    case AttackType::kOsScan: return "OS scan";
+    case AttackType::kServiceScan: return "Service scan";
+    case AttackType::kDataTheft: return "Data theft";
+    case AttackType::kKeylogging: return "Keylogging";
+    case AttackType::kMiraiRouterFilter: return "Mirai router filter";
+    case AttackType::kOsScanRouter: return "OS scan router";
+    case AttackType::kPortScanRouter: return "Port scan router";
+    case AttackType::kTcpDdosRouter: return "TCP DDoS router";
+    case AttackType::kUdpDdosRouter: return "UDP DDoS router";
+  }
+  throw std::invalid_argument("unknown attack");
+}
+
+void apply_router_transform(FlowSpec& s, ml::Rng& rng, double min_ipd) {
+  s.ttl = static_cast<std::uint8_t>(std::max(1, static_cast<int>(s.ttl) - 1));
+  // Rate limiting: the gateway clamps the mean rate and adds queueing jitter.
+  s.ipd_mean = std::max(s.ipd_mean * rng.uniform(0.9, 1.4), min_ipd);
+  s.ipd_jitter_sigma = std::min(1.2, s.ipd_jitter_sigma + rng.uniform(0.15, 0.35));
+  // Some packets are dropped/filtered upstream.
+  s.packets = std::max<std::size_t>(1, static_cast<std::size_t>(
+                                           static_cast<double>(s.packets) * rng.uniform(0.5, 0.9)));
+}
+
+namespace {
+
+FiveTuple attacker_tuple(const AttackConfig& cfg, ml::Rng& rng, std::uint16_t dst_port,
+                         std::uint8_t proto) {
+  FiveTuple ft;
+  ft.src_ip = 0x0A000000u | (1 + static_cast<std::uint32_t>(rng.index(cfg.attacker_count)));
+  ft.dst_ip = 0xC0A80100u | static_cast<std::uint32_t>(1 + rng.index(24));
+  ft.src_port = static_cast<std::uint16_t>(rng.integer(1024, 65535));
+  ft.dst_port = dst_port;
+  ft.proto = proto;
+  return ft;
+}
+
+// Base spec for one flow of the given attack. The comments note which benign
+// manifold relationship each attack breaks.
+FlowSpec base_spec(AttackType type, const AttackConfig& cfg, ml::Rng& rng) {
+  FlowSpec s;
+  s.malicious = true;
+  s.ttl = 64;
+  switch (type) {
+    case AttackType::kMirai:
+    case AttackType::kMiraiRouterFilter:
+      // Telnet brute force: small packets but far faster than any benign
+      // small-packet (sensor) flow.
+      s.ft = attacker_tuple(cfg, rng, rng.bernoulli(0.7) ? 23 : 2323, kProtoTcp);
+      s.packets = 3 + rng.index(10);
+      s.size_mu = rng.uniform(60.0, 95.0);
+      s.size_sigma = rng.uniform(1.0, 5.0);
+      s.ipd_mean = rng.uniform(0.05, 0.30);
+      s.ipd_jitter_sigma = 0.15;
+      s.ttl = static_cast<std::uint8_t>(rng.integer(48, 128));
+      s.first_flag = TcpFlag::kSyn;
+      break;
+    case AttackType::kAidra:
+      s.ft = attacker_tuple(cfg, rng, 23, kProtoTcp);
+      s.packets = 2 + rng.index(5);
+      s.size_mu = rng.uniform(54.0, 74.0);
+      s.size_sigma = rng.uniform(0.5, 3.0);
+      s.ipd_mean = rng.uniform(0.10, 0.50);
+      s.ipd_jitter_sigma = 0.20;
+      s.ttl = static_cast<std::uint8_t>(rng.integer(40, 200));
+      s.first_flag = TcpFlag::kSyn;
+      break;
+    case AttackType::kBashlite:
+      s.ft = attacker_tuple(cfg, rng, rng.bernoulli(0.5) ? 23 : 80, kProtoTcp);
+      s.packets = 8 + rng.index(18);
+      s.size_mu = rng.uniform(80.0, 150.0);
+      s.size_sigma = rng.uniform(2.0, 8.0);
+      s.ipd_mean = rng.uniform(0.02, 0.20);
+      s.ipd_jitter_sigma = 0.25;
+      s.first_flag = TcpFlag::kSyn;
+      break;
+    case AttackType::kUdpDdos:
+    case AttackType::kUdpDdosRouter:
+      // Flood: camera-like size and rate but constant sizes (no variance)
+      // and a packet budget beyond any benign flow at that size.
+      s.ft = attacker_tuple(cfg, rng, static_cast<std::uint16_t>(rng.integer(1024, 65535)),
+                            kProtoUdp);
+      s.packets = 120 + rng.index(380);
+      s.size_mu = rng.bernoulli(0.5) ? 512.0 : 1024.0;
+      s.size_sigma = rng.uniform(0.0, 2.0);
+      s.ipd_mean = rng.uniform(1e-4, 1e-3);
+      s.ipd_jitter_sigma = 0.05;
+      s.ttl = static_cast<std::uint8_t>(rng.integer(32, 255));
+      break;
+    case AttackType::kTcpDdos:
+    case AttackType::kTcpDdosRouter:
+      // SYN flood: minimum-size segments at camera rate (benign small
+      // packets are slow; benign fast flows are large).
+      s.ft = attacker_tuple(cfg, rng, rng.bernoulli(0.6) ? 80 : 443, kProtoTcp);
+      s.packets = 80 + rng.index(320);
+      s.size_mu = rng.uniform(40.0, 60.0);
+      s.size_sigma = rng.uniform(0.0, 1.5);
+      s.ipd_mean = rng.uniform(1e-4, 1e-3);
+      s.ipd_jitter_sigma = 0.05;
+      s.ttl = static_cast<std::uint8_t>(rng.integer(32, 255));
+      s.first_flag = TcpFlag::kSyn;
+      break;
+    case AttackType::kHttpDdos:
+      // GET flood: medium requests at streaming rate — in-range marginals,
+      // off-manifold jointly.
+      s.ft = attacker_tuple(cfg, rng, rng.bernoulli(0.7) ? 80 : 443, kProtoTcp);
+      s.packets = 40 + rng.index(210);
+      s.size_mu = rng.uniform(250.0, 450.0);
+      s.size_sigma = rng.uniform(3.0, 15.0);
+      s.ipd_mean = rng.uniform(1e-3, 1e-2);
+      s.ipd_jitter_sigma = 0.20;
+      s.first_flag = TcpFlag::kSyn;
+      break;
+    case AttackType::kOsScan:
+    case AttackType::kOsScanRouter:
+      // Fingerprinting probes: tiny packets, odd TTLs, quick succession.
+      s.ft = attacker_tuple(cfg, rng, static_cast<std::uint16_t>(rng.integer(1, 1024)),
+                            kProtoTcp);
+      s.packets = 5 + rng.index(25);
+      s.size_mu = rng.uniform(44.0, 64.0);
+      s.size_sigma = rng.uniform(0.5, 4.0);
+      s.ipd_mean = rng.uniform(1e-3, 5e-2);
+      s.ipd_jitter_sigma = 0.30;
+      s.ttl = static_cast<std::uint8_t>(rng.integer(37, 255));
+      s.first_flag = TcpFlag::kSyn;
+      break;
+    case AttackType::kServiceScan:
+      s.ft = attacker_tuple(cfg, rng, static_cast<std::uint16_t>(rng.integer(1, 10000)),
+                            rng.bernoulli(0.5) ? kProtoTcp : kProtoUdp);
+      s.packets = 10 + rng.index(50);
+      s.size_mu = rng.uniform(48.0, 90.0);
+      s.size_sigma = rng.uniform(1.0, 6.0);
+      s.ipd_mean = rng.uniform(5e-3, 1e-1);
+      s.ipd_jitter_sigma = 0.35;
+      s.ttl = static_cast<std::uint8_t>(rng.integer(37, 255));
+      s.first_flag = s.ft.proto == kProtoTcp ? TcpFlag::kSyn : TcpFlag::kNone;
+      break;
+    case AttackType::kDataTheft:
+      // Exfiltration: deliberately camera-like (large, fast, long) but with
+      // MTU-pinned sizes and machine-steady pacing — the subtlest attack.
+      s.ft = attacker_tuple(cfg, rng, 443, kProtoTcp);
+      s.packets = 150 + rng.index(500);
+      s.size_mu = rng.uniform(1250.0, 1400.0);
+      s.size_sigma = rng.uniform(1.0, 6.0);
+      s.ipd_mean = rng.uniform(4e-3, 3e-2);
+      s.ipd_jitter_sigma = 0.08;
+      s.first_flag = TcpFlag::kSyn;
+      break;
+    case AttackType::kKeylogging:
+      // Beaconing exfil: sensor-like size & rate but flows persist far
+      // longer than any telemetry burst.
+      s.ft = attacker_tuple(cfg, rng, 443, kProtoTcp);
+      s.packets = 40 + rng.index(160);
+      s.size_mu = rng.uniform(70.0, 120.0);
+      s.size_sigma = rng.uniform(1.0, 5.0);
+      s.ipd_mean = rng.uniform(0.5, 3.0);
+      s.ipd_jitter_sigma = 0.18;
+      s.first_flag = TcpFlag::kSyn;
+      break;
+    case AttackType::kPortScanRouter:
+      // Sequential port sweep (per-destination flows), behind the gateway.
+      s.ft = attacker_tuple(cfg, rng, static_cast<std::uint16_t>(rng.integer(1, 49152)),
+                            kProtoTcp);
+      s.packets = 2 + rng.index(7);
+      s.size_mu = rng.uniform(40.0, 60.0);
+      s.size_sigma = rng.uniform(0.0, 2.0);
+      s.ipd_mean = rng.uniform(1e-2, 1e-1);
+      s.ipd_jitter_sigma = 0.25;
+      s.ttl = static_cast<std::uint8_t>(rng.integer(40, 128));
+      s.first_flag = TcpFlag::kSyn;
+      break;
+  }
+  return s;
+}
+
+bool is_router_variant(AttackType type) {
+  switch (type) {
+    case AttackType::kMiraiRouterFilter:
+    case AttackType::kOsScanRouter:
+    case AttackType::kPortScanRouter:
+    case AttackType::kTcpDdosRouter:
+    case AttackType::kUdpDdosRouter:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<FlowSpec> attack_flows(AttackType type, const AttackConfig& cfg, ml::Rng& rng) {
+  std::vector<FlowSpec> specs;
+  specs.reserve(cfg.flows);
+  for (std::size_t i = 0; i < cfg.flows; ++i) {
+    FlowSpec s = base_spec(type, cfg, rng);
+    if (is_router_variant(type)) apply_router_transform(s, rng);
+    s.start = rng.uniform(0.0, cfg.horizon);
+    s.flow_id = static_cast<std::uint32_t>(i);
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+Trace attack_trace(AttackType type, const AttackConfig& cfg, ml::Rng& rng) {
+  auto specs = attack_flows(type, cfg, rng);
+  return emit_packets(specs, rng);
+}
+
+}  // namespace iguard::traffic

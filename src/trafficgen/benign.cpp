@@ -1,0 +1,100 @@
+#include "trafficgen/benign.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iguard::traffic {
+
+ManifoldPoint benign_manifold(double a) {
+  a = std::clamp(a, 0.0, 1.3);  // >1: rare high-activity extremes (backup)
+  ManifoldPoint p;
+  p.size_mu = std::min(1460.0, 60.0 + 1240.0 * std::pow(a, 1.3));
+  // Activity beyond 1 saturates at the fastest rate (pow of a negative base
+  // with a fractional exponent would be NaN).
+  p.ipd_mean = 0.002 + 3.0 * std::pow(std::max(0.0, 1.0 - a), 2.2);
+  p.packets = 4.0 + 250.0 * std::pow(a, 1.5);
+  return p;
+}
+
+namespace {
+
+struct ClassProfile {
+  DeviceClass cls;
+  double weight;       // mix fraction
+  double a_lo, a_hi;   // activity range on the manifold
+  std::uint16_t dst_port;
+  std::uint8_t proto;
+  double size_noise;   // relative deviation off the manifold
+  double jitter_sigma; // per-packet IPD jitter
+};
+
+constexpr ClassProfile kProfiles[] = {
+    // Overlapping activity ranges: benign traffic forms one continuous
+    // filament along the manifold rather than isolated islands (real IoT
+    // deployments mix device intensities continuously).
+    {DeviceClass::kSensor, 0.30, 0.00, 0.35, 1883, kProtoTcp, 0.14, 0.45},
+    {DeviceClass::kSmartPlug, 0.13, 0.02, 0.08, 8883, kProtoTcp, 0.01, 0.05},
+    {DeviceClass::kDns, 0.15, 0.05, 0.15, 53, kProtoUdp, 0.15, 0.30},
+    {DeviceClass::kNtp, 0.10, 0.03, 0.10, 123, kProtoUdp, 0.02, 0.10},
+    {DeviceClass::kHttpControl, 0.18, 0.25, 0.72, 443, kProtoTcp, 0.15, 0.40},
+    {DeviceClass::kCamera, 0.10, 0.60, 1.00, 554, kProtoTcp, 0.10, 0.35},
+    // Activity beyond the camera range: the manifold extended past a = 1.
+    {DeviceClass::kBackup, 0.04, 1.00, 1.25, 443, kProtoTcp, 0.06, 0.30},
+};
+
+const ClassProfile& pick_profile(ml::Rng& rng) {
+  double u = rng.uniform();
+  for (const auto& p : kProfiles) {
+    if (u < p.weight) return p;
+    u -= p.weight;
+  }
+  return kProfiles[std::size(kProfiles) - 1];
+}
+
+}  // namespace
+
+std::vector<FlowSpec> benign_flows(const BenignConfig& cfg, ml::Rng& rng) {
+  std::vector<FlowSpec> specs;
+  specs.reserve(cfg.flows);
+  for (std::size_t i = 0; i < cfg.flows; ++i) {
+    const ClassProfile& prof = pick_profile(rng);
+    const double a = rng.uniform(prof.a_lo, prof.a_hi);
+    const ManifoldPoint mp = benign_manifold(a);
+
+    FlowSpec s;
+    s.ft.src_ip = 0xC0A80100u | (1 + rng.index(cfg.device_count));  // 192.168.1.x
+    s.ft.dst_ip = 0x08080000u | static_cast<std::uint32_t>(rng.index(4096));
+    s.ft.src_port = static_cast<std::uint16_t>(rng.integer(32768, 60999));
+    s.ft.dst_port = prof.dst_port;
+    s.ft.proto = prof.proto;
+    s.start = rng.uniform(0.0, cfg.horizon);
+    // DNS/NTP are request/response pairs; others follow the manifold budget.
+    if (prof.cls == DeviceClass::kDns || prof.cls == DeviceClass::kNtp) {
+      s.packets = 2 + rng.index(3);
+    } else {
+      s.packets = std::max<std::size_t>(
+          2, static_cast<std::size_t>(mp.packets * std::exp(0.35 * rng.normal())));
+    }
+    s.size_mu = mp.size_mu * (1.0 + prof.size_noise * rng.normal());
+    s.size_mu = std::clamp(s.size_mu, 44.0, 1460.0);
+    s.size_sigma = std::max(0.5, 0.12 * s.size_mu * (prof.cls == DeviceClass::kSmartPlug ||
+                                                             prof.cls == DeviceClass::kNtp
+                                                         ? 0.05
+                                                         : 1.0));
+    s.ipd_mean = mp.ipd_mean * std::exp(0.20 * rng.normal());
+    s.ipd_jitter_sigma = prof.jitter_sigma;
+    s.ttl = prof.proto == kProtoUdp ? 255 : 64;
+    s.first_flag = prof.proto == kProtoTcp ? TcpFlag::kSyn : TcpFlag::kNone;
+    s.malicious = false;
+    s.flow_id = static_cast<std::uint32_t>(i);
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+Trace benign_trace(const BenignConfig& cfg, ml::Rng& rng) {
+  auto specs = benign_flows(cfg, rng);
+  return emit_packets(specs, rng);
+}
+
+}  // namespace iguard::traffic

@@ -1,0 +1,51 @@
+// Benign IoT traffic generator, modelled on the smart-environment traffic of
+// Sivanathan et al. (the paper's normal dataset [30]) and HorusEye's benign
+// captures [15]. Six device classes share one latent "activity" manifold:
+// more active flows send larger packets, faster, and for longer. This joint
+// structure is what the autoencoders learn and what attacks (attacks.hpp)
+// violate — the mechanism behind the paper's Fig. 2 overlap and the
+// iGuard-vs-iForest accuracy gap.
+#pragma once
+
+#include <vector>
+
+#include "ml/rng.hpp"
+#include "trafficgen/flowspec.hpp"
+
+namespace iguard::traffic {
+
+enum class DeviceClass {
+  kSensor,      // MQTT/CoAP telemetry: small, slow, short flows
+  kSmartPlug,   // near-constant keep-alives: tiny, strictly periodic
+  kDns,         // 2-packet query/response
+  kNtp,         // 2-packet, periodic
+  kHttpControl, // app/API chatter: medium size & rate
+  kCamera,      // streaming: large, fast, long flows
+  kBackup       // rare firmware/backup bursts: manifold extreme, sparse in
+                // training — separates generalising detectors (AEs) from
+                // proximity detectors (kNN/X-means), as real traffic does
+};
+
+/// The benign manifold: flow statistics as a deterministic function of the
+/// activity latent a in [0,1] (before per-class noise). Exposed so attack
+/// generators and tests can reference the same manifold.
+struct ManifoldPoint {
+  double size_mu;    // bytes
+  double ipd_mean;   // seconds
+  double packets;    // expected packet budget
+};
+ManifoldPoint benign_manifold(double activity);
+
+struct BenignConfig {
+  std::size_t flows = 1000;
+  double horizon = 600.0;  // flow start times uniform over [0, horizon) s
+  std::uint32_t device_count = 24;
+};
+
+/// Draw benign flow specs (device mix roughly matching an IoT deployment).
+std::vector<FlowSpec> benign_flows(const BenignConfig& cfg, ml::Rng& rng);
+
+/// Convenience: specs -> packets.
+Trace benign_trace(const BenignConfig& cfg, ml::Rng& rng);
+
+}  // namespace iguard::traffic

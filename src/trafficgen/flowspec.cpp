@@ -1,0 +1,45 @@
+#include "trafficgen/flowspec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iguard::traffic {
+
+Trace emit_packets(std::span<const FlowSpec> specs, ml::Rng& rng) {
+  Trace out;
+  out.packets.reserve(total_packets(specs));
+  for (const auto& s : specs) {
+    double t = s.start;
+    for (std::size_t i = 0; i < s.packets; ++i) {
+      Packet p;
+      p.ts = t;
+      p.ft = s.ft;
+      const double raw = rng.normal(s.size_mu, s.size_sigma);
+      p.length = static_cast<std::uint16_t>(std::clamp(raw, 40.0, 1500.0));
+      p.ttl = s.ttl;
+      p.flags = (i == 0) ? s.first_flag
+                         : (s.ft.proto == kProtoTcp ? TcpFlag::kAck : TcpFlag::kNone);
+      p.malicious = s.malicious;
+      p.flow_id = s.flow_id;
+      out.packets.push_back(p);
+      // Lognormal multiplicative jitter with unit mean:
+      // E[exp(sigma*Z - sigma^2/2)] = 1, so ipd_mean is the true mean gap.
+      const double jitter =
+          s.ipd_jitter_sigma > 0.0
+              ? std::exp(s.ipd_jitter_sigma * rng.normal() -
+                         0.5 * s.ipd_jitter_sigma * s.ipd_jitter_sigma)
+              : 1.0;
+      t += std::max(1e-7, s.ipd_mean * jitter);
+    }
+  }
+  out.sort_by_time();
+  return out;
+}
+
+std::size_t total_packets(std::span<const FlowSpec> specs) {
+  std::size_t n = 0;
+  for (const auto& s : specs) n += s.packets;
+  return n;
+}
+
+}  // namespace iguard::traffic

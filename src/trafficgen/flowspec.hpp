@@ -1,0 +1,37 @@
+// FlowSpec: the per-flow statistical recipe all generators share. A flow is
+// described by distributions over packet size and inter-packet delay plus a
+// packet budget; emit_packets() turns recipes into a time-ordered Trace.
+// Controlling the recipe controls exactly the 13 flow-level features the
+// detectors consume, which is what makes the synthetic substitution for the
+// paper's PCAPs faithful (see DESIGN.md §1).
+#pragma once
+
+#include <vector>
+
+#include "ml/rng.hpp"
+#include "trafficgen/packet.hpp"
+
+namespace iguard::traffic {
+
+struct FlowSpec {
+  FiveTuple ft;
+  double start = 0.0;        // flow start time, seconds
+  std::size_t packets = 1;   // packet budget
+  double size_mu = 100.0;    // per-packet size ~ N(size_mu, size_sigma), clamped
+  double size_sigma = 10.0;
+  double ipd_mean = 0.1;         // per-packet gap = ipd_mean * lognormal jitter
+  double ipd_jitter_sigma = 0.3; // sigma of the lognormal jitter (0 = strictly periodic)
+  std::uint8_t ttl = 64;
+  TcpFlag first_flag = TcpFlag::kNone;  // e.g. kSyn for TCP floods / scans
+  bool malicious = false;
+  std::uint32_t flow_id = 0;
+};
+
+/// Materialise packets for every spec and return them time-sorted.
+/// Size clamp: [40, 1500] bytes (minimum IP packet to typical MTU).
+Trace emit_packets(std::span<const FlowSpec> specs, ml::Rng& rng);
+
+/// Sum of packet budgets (for sizing checks).
+std::size_t total_packets(std::span<const FlowSpec> specs);
+
+}  // namespace iguard::traffic

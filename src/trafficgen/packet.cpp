@@ -1,0 +1,56 @@
+#include "trafficgen/packet.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace iguard::traffic {
+
+namespace {
+// SplitMix64 finaliser — cheap, well-mixed 64-bit hash step.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+std::uint64_t dirhash(const FiveTuple& ft, std::uint64_t seed) {
+  std::uint64_t h = mix64(seed ^ (static_cast<std::uint64_t>(ft.src_ip) << 32 | ft.dst_ip));
+  h = mix64(h ^ (static_cast<std::uint64_t>(ft.src_port) << 32 |
+                 static_cast<std::uint64_t>(ft.dst_port) << 16 | ft.proto));
+  return h;
+}
+
+std::uint64_t bihash(const FiveTuple& ft, std::uint64_t seed) {
+  // Canonicalise the direction so (a -> b) and (b -> a) hash identically.
+  const bool fwd = std::make_tuple(ft.src_ip, ft.src_port) <= std::make_tuple(ft.dst_ip, ft.dst_port);
+  return fwd ? dirhash(ft, seed) : dirhash(ft.reversed(), seed);
+}
+
+void Trace::sort_by_time() {
+  std::stable_sort(packets.begin(), packets.end(),
+                   [](const Packet& a, const Packet& b) { return a.ts < b.ts; });
+}
+
+void Trace::append(const Trace& other) {
+  packets.insert(packets.end(), other.packets.begin(), other.packets.end());
+}
+
+Trace merge_traces(std::vector<Trace> parts) {
+  Trace out;
+  std::uint32_t flow_base = 0;
+  for (auto& p : parts) {
+    std::uint32_t max_id = 0;
+    for (auto& pkt : p.packets) {
+      pkt.flow_id += flow_base;
+      max_id = std::max(max_id, pkt.flow_id);
+      out.packets.push_back(pkt);
+    }
+    if (!p.packets.empty()) flow_base = max_id + 1;
+  }
+  out.sort_by_time();
+  return out;
+}
+
+}  // namespace iguard::traffic

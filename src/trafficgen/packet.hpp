@@ -1,0 +1,72 @@
+// Packet and trace model. A Trace is the in-memory stand-in for the PCAP
+// files the paper replays with tcpreplay: a time-ordered packet sequence
+// carrying exactly the header fields the feature extractors and the switch
+// pipeline consume (5-tuple, length, TTL, TCP flags), plus ground-truth
+// labels used only by the evaluation harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iguard::traffic {
+
+struct FiveTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;  // IPPROTO_TCP=6, UDP=17, ICMP=1
+
+  bool operator==(const FiveTuple&) const = default;
+
+  /// Direction-reversed tuple (for bidirectional flow keys).
+  FiveTuple reversed() const { return {dst_ip, src_ip, dst_port, src_port, proto}; }
+};
+
+/// 64-bit order-independent (bidirectional) hash of a 5-tuple — the paper's
+/// "bi-hash": both directions of a connection index the same flow state.
+std::uint64_t bihash(const FiveTuple& ft, std::uint64_t seed = 0);
+
+/// Order-dependent hash (exact-match table keying).
+std::uint64_t dirhash(const FiveTuple& ft, std::uint64_t seed = 0);
+
+enum class TcpFlag : std::uint8_t { kNone = 0, kSyn = 1, kAck = 2, kSynAck = 3, kFin = 4, kRst = 5 };
+
+struct Packet {
+  double ts = 0.0;  // seconds since trace start
+  FiveTuple ft;
+  std::uint16_t length = 0;  // IP total length, bytes
+  std::uint8_t ttl = 64;
+  TcpFlag flags = TcpFlag::kNone;
+
+  // Ground truth, never visible to the detectors / data plane:
+  bool malicious = false;
+  std::uint32_t flow_id = 0;  // generator-assigned flow index
+};
+
+struct Trace {
+  std::vector<Packet> packets;
+
+  double duration() const {
+    return packets.empty() ? 0.0 : packets.back().ts - packets.front().ts;
+  }
+  std::size_t size() const { return packets.size(); }
+  bool empty() const { return packets.empty(); }
+
+  /// Stable-sort by timestamp (generators emit per-flow bursts).
+  void sort_by_time();
+
+  /// Append another trace's packets (no re-sort).
+  void append(const Trace& other);
+};
+
+/// Interleave traces into one time-ordered trace, renumbering flow_ids so
+/// they stay unique across sources.
+Trace merge_traces(std::vector<Trace> parts);
+
+constexpr std::uint8_t kProtoTcp = 6;
+constexpr std::uint8_t kProtoUdp = 17;
+constexpr std::uint8_t kProtoIcmp = 1;
+
+}  // namespace iguard::traffic

@@ -1,0 +1,153 @@
+#include "trafficgen/pcap_io.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace iguard::traffic {
+
+namespace {
+
+constexpr std::uint32_t kPcapMagic = 0xA1B2C3D4;  // little-endian, microseconds
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+constexpr std::size_t kEthLen = 14;
+constexpr std::size_t kIpv4Len = 20;
+constexpr std::size_t kL4Len = 8;  // enough for UDP header / TCP ports+seq
+constexpr std::size_t kMinFrame = kEthLen + kIpv4Len + kL4Len;
+
+template <typename T>
+void put(std::string& buf, T v) {
+  char tmp[sizeof(T)];
+  std::memcpy(tmp, &v, sizeof(T));
+  buf.append(tmp, sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& is) {
+  char tmp[sizeof(T)];
+  if (!is.read(tmp, sizeof(T))) throw std::runtime_error("pcap: truncated stream");
+  T v;
+  std::memcpy(&v, tmp, sizeof(T));
+  return v;
+}
+
+std::uint16_t to_be16(std::uint16_t v) {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+std::uint32_t to_be32(std::uint32_t v) {
+  return ((v & 0xFFu) << 24) | ((v & 0xFF00u) << 8) | ((v >> 8) & 0xFF00u) | (v >> 24);
+}
+
+}  // namespace
+
+void write_pcap(std::ostream& os, const Trace& trace) {
+  std::string buf;
+  put<std::uint32_t>(buf, kPcapMagic);
+  put<std::uint16_t>(buf, 2);  // version 2.4
+  put<std::uint16_t>(buf, 4);
+  put<std::int32_t>(buf, 0);   // thiszone
+  put<std::uint32_t>(buf, 0);  // sigfigs
+  put<std::uint32_t>(buf, 65535);
+  put<std::uint32_t>(buf, kLinkTypeEthernet);
+
+  for (const auto& p : trace.packets) {
+    const std::size_t ip_len = std::max<std::size_t>(p.length, kIpv4Len + kL4Len);
+    const std::size_t frame_len = kEthLen + ip_len;
+    const auto ts_sec = static_cast<std::uint32_t>(p.ts);
+    const auto ts_usec =
+        static_cast<std::uint32_t>(std::llround((p.ts - std::floor(p.ts)) * 1e6)) % 1000000u;
+
+    put<std::uint32_t>(buf, ts_sec);
+    put<std::uint32_t>(buf, ts_usec);
+    // Capture only the headers (snap), record the true frame length.
+    put<std::uint32_t>(buf, static_cast<std::uint32_t>(kMinFrame));
+    put<std::uint32_t>(buf, static_cast<std::uint32_t>(frame_len));
+
+    // Ethernet: zero MACs, ethertype 0x0800.
+    buf.append(12, '\0');
+    put<std::uint16_t>(buf, to_be16(0x0800));
+    // IPv4 header.
+    buf.push_back(0x45);  // version 4, IHL 5
+    buf.push_back(0);     // DSCP
+    put<std::uint16_t>(buf, to_be16(static_cast<std::uint16_t>(ip_len)));
+    put<std::uint16_t>(buf, 0);  // id
+    put<std::uint16_t>(buf, 0);  // flags/frag
+    buf.push_back(static_cast<char>(p.ttl));
+    buf.push_back(static_cast<char>(p.ft.proto));
+    put<std::uint16_t>(buf, 0);  // checksum (not validated by the reader)
+    put<std::uint32_t>(buf, to_be32(p.ft.src_ip));
+    put<std::uint32_t>(buf, to_be32(p.ft.dst_ip));
+    // L4 (first 8 bytes: ports + length/seq stub).
+    put<std::uint16_t>(buf, to_be16(p.ft.src_port));
+    put<std::uint16_t>(buf, to_be16(p.ft.dst_port));
+    put<std::uint32_t>(buf, 0);
+  }
+  os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+void write_pcap_file(const std::string& path, const Trace& trace) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("pcap: cannot open " + path);
+  write_pcap(f, trace);
+}
+
+Trace read_pcap(std::istream& is) {
+  const auto magic = get<std::uint32_t>(is);
+  if (magic != kPcapMagic) throw std::runtime_error("pcap: unsupported magic/endianness");
+  get<std::uint16_t>(is);  // version major
+  get<std::uint16_t>(is);  // version minor
+  get<std::int32_t>(is);
+  get<std::uint32_t>(is);
+  get<std::uint32_t>(is);  // snaplen
+  const auto link = get<std::uint32_t>(is);
+  if (link != kLinkTypeEthernet) throw std::runtime_error("pcap: not Ethernet link type");
+
+  Trace out;
+  while (is.peek() != std::char_traits<char>::eof()) {
+    const auto ts_sec = get<std::uint32_t>(is);
+    const auto ts_usec = get<std::uint32_t>(is);
+    const auto incl = get<std::uint32_t>(is);
+    const auto orig = get<std::uint32_t>(is);
+    if (incl > 1u << 20) throw std::runtime_error("pcap: absurd record length");
+    std::string frame(incl, '\0');
+    if (!is.read(frame.data(), incl)) throw std::runtime_error("pcap: truncated record");
+    if (incl < kMinFrame) continue;
+
+    const auto* d = reinterpret_cast<const unsigned char*>(frame.data());
+    const std::uint16_t ethertype = static_cast<std::uint16_t>(d[12] << 8 | d[13]);
+    if (ethertype != 0x0800) continue;  // not IPv4
+    const unsigned char ihl = d[kEthLen] & 0x0F;
+    if ((d[kEthLen] >> 4) != 4 || ihl < 5) continue;
+    const std::size_t l4_off = kEthLen + 4u * ihl;
+    if (incl < l4_off + 4) continue;
+
+    Packet p;
+    p.ts = static_cast<double>(ts_sec) + static_cast<double>(ts_usec) * 1e-6;
+    p.length = static_cast<std::uint16_t>(d[kEthLen + 2] << 8 | d[kEthLen + 3]);
+    if (p.length == 0) p.length = static_cast<std::uint16_t>(orig - kEthLen);
+    p.ttl = d[kEthLen + 8];
+    p.ft.proto = d[kEthLen + 9];
+    p.ft.src_ip = static_cast<std::uint32_t>(d[kEthLen + 12] << 24 | d[kEthLen + 13] << 16 |
+                                             d[kEthLen + 14] << 8 | d[kEthLen + 15]);
+    p.ft.dst_ip = static_cast<std::uint32_t>(d[kEthLen + 16] << 24 | d[kEthLen + 17] << 16 |
+                                             d[kEthLen + 18] << 8 | d[kEthLen + 19]);
+    if (p.ft.proto == kProtoTcp || p.ft.proto == kProtoUdp) {
+      p.ft.src_port = static_cast<std::uint16_t>(d[l4_off] << 8 | d[l4_off + 1]);
+      p.ft.dst_port = static_cast<std::uint16_t>(d[l4_off + 2] << 8 | d[l4_off + 3]);
+    }
+    out.packets.push_back(p);
+  }
+  return out;
+}
+
+Trace read_pcap_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("pcap: cannot open " + path);
+  return read_pcap(f);
+}
+
+}  // namespace iguard::traffic

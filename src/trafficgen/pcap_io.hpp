@@ -1,0 +1,32 @@
+// Minimal libpcap-format I/O so the library can consume real captures and
+// export its synthetic traces for inspection in standard tools. No external
+// dependency: the classic pcap container (24-byte global header, 16-byte
+// per-record headers, microsecond timestamps) with Ethernet + IPv4 + TCP/UDP
+// framing is written and parsed directly. Non-IPv4 records are skipped on
+// read; payloads are zero-filled on write (flow statistics never look at
+// them).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "trafficgen/packet.hpp"
+
+namespace iguard::traffic {
+
+/// Write the trace as a little-endian microsecond pcap. Packet lengths below
+/// the minimal header stack (Ethernet 14 + IPv4 20 + L4 8 = 42 bytes) are
+/// padded up to it on the wire; `Packet::length` is preserved in the IPv4
+/// total-length field either way.
+void write_pcap(std::ostream& os, const Trace& trace);
+void write_pcap_file(const std::string& path, const Trace& trace);
+
+/// Parse a pcap stream produced by write_pcap (or any capture restricted to
+/// Ethernet/IPv4/TCP|UDP). Unsupported records are skipped; malformed
+/// headers throw std::runtime_error. Ground-truth fields (malicious,
+/// flow_id) are not representable in pcap and come back defaulted.
+Trace read_pcap(std::istream& is);
+Trace read_pcap_file(const std::string& path);
+
+}  // namespace iguard::traffic

@@ -1,0 +1,125 @@
+#include "ml/autoencoder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iguard::ml {
+namespace {
+
+Matrix manifold(std::size_t n, Rng& rng) {
+  // 3-D data on a 1-D manifold: (t, 2t, -t) + noise.
+  Matrix x(0, 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = rng.normal(0.0, 1.0);
+    const double row[3] = {t + rng.normal(0, 0.05), 2.0 * t + rng.normal(0, 0.05),
+                           -t + rng.normal(0, 0.05)};
+    x.push_row(row);
+  }
+  return x;
+}
+
+TEST(Autoencoder, TrainingReducesLoss) {
+  Rng rng(1);
+  Matrix x = manifold(500, rng);
+  Autoencoder short_run([] {
+    AutoencoderConfig c;
+    c.encoder_hidden = {4, 1};
+    c.epochs = 2;
+    return c;
+  }());
+  Autoencoder long_run([] {
+    AutoencoderConfig c;
+    c.encoder_hidden = {4, 1};
+    c.epochs = 60;
+    return c;
+  }());
+  Rng r1(9), r2(9);
+  short_run.fit(x, r1);
+  long_run.fit(x, r2);
+  EXPECT_LT(long_run.final_loss(), short_run.final_loss());
+}
+
+TEST(Autoencoder, ReconstructionErrorSeparatesOffManifold) {
+  Rng rng(2);
+  Matrix x = manifold(800, rng);
+  Autoencoder ae([] {
+    AutoencoderConfig c;
+    c.encoder_hidden = {6, 1};
+    c.epochs = 80;
+    return c;
+  }());
+  ae.fit(x, rng);
+  const double on[3] = {0.5, 1.0, -0.5};
+  const double off[3] = {0.5, -1.0, 0.5};
+  EXPECT_GT(ae.reconstruction_error(off), 2.0 * ae.reconstruction_error(on));
+}
+
+TEST(Autoencoder, ThresholdQuantileBehaviour) {
+  // With quantile q, about (1-q) of training points exceed the threshold.
+  Rng rng(3);
+  Matrix x = manifold(500, rng);
+  Autoencoder ae([] {
+    AutoencoderConfig c;
+    c.encoder_hidden = {4, 1};
+    c.epochs = 40;
+    c.threshold_quantile = 0.90;
+    return c;
+  }());
+  ae.fit(x, rng);
+  std::size_t above = 0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    above += ae.reconstruction_error(x.row(i)) > ae.threshold() ? 1 : 0;
+  }
+  const double frac = static_cast<double>(above) / static_cast<double>(x.rows());
+  EXPECT_NEAR(frac, 0.10, 0.04);
+}
+
+TEST(Autoencoder, PredictUsesThreshold) {
+  Rng rng(4);
+  Matrix x = manifold(400, rng);
+  Autoencoder ae;
+  ae.fit(x, rng);
+  ae.set_threshold(1e9);
+  const double p[3] = {100.0, 100.0, 100.0};
+  EXPECT_EQ(ae.predict(p), 0);
+  ae.set_threshold(0.0);
+  EXPECT_EQ(ae.predict(p), 1);
+}
+
+TEST(Autoencoder, UnfittedThrows) {
+  Autoencoder ae;
+  const double p[3] = {0, 0, 0};
+  EXPECT_THROW(ae.reconstruction_error(p), std::logic_error);
+  Rng rng(5);
+  Matrix empty;
+  EXPECT_THROW(ae.fit(empty, rng), std::invalid_argument);
+}
+
+TEST(MagnifierConfig, IsAsymmetric) {
+  const auto cfg = magnifier_config();
+  EXPECT_GE(cfg.encoder_hidden.size(), 3u);  // deep encoder
+  EXPECT_TRUE(cfg.decoder_hidden.empty());   // single-layer decoder
+  EXPECT_EQ(cfg.label, "magnifier");
+}
+
+TEST(TestbedConfig, SmallerThanMagnifier) {
+  const auto mag = magnifier_config();
+  const auto tb = testbed_autoencoder_config();
+  EXPECT_LT(tb.encoder_hidden.front(), mag.encoder_hidden.front());
+}
+
+TEST(Autoencoder, DeterministicGivenSeed) {
+  Matrix x;
+  {
+    Rng rng(6);
+    x = manifold(300, rng);
+  }
+  Autoencoder a, b;
+  Rng r1(42), r2(42);
+  a.fit(x, r1);
+  b.fit(x, r2);
+  const double p[3] = {0.1, 0.3, -0.2};
+  EXPECT_DOUBLE_EQ(a.reconstruction_error(p), b.reconstruction_error(p));
+}
+
+}  // namespace
+}  // namespace iguard::ml

@@ -1,0 +1,188 @@
+// Tests for the Fig. 10 candidate detectors: PCA, kNN, X-means, VAE, and
+// the Jacobi eigen-solver / k-means primitives underneath them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/knn.hpp"
+#include "ml/pca.hpp"
+#include "ml/vae.hpp"
+#include "ml/xmeans.hpp"
+
+namespace iguard::ml {
+namespace {
+
+Matrix line_cloud(std::size_t n, Rng& rng) {
+  // Points near the line y = 2x in 2-D: one dominant principal direction.
+  Matrix x(0, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = rng.normal(0.0, 1.0);
+    const double row[2] = {t + rng.normal(0.0, 0.05), 2.0 * t + rng.normal(0.0, 0.05)};
+    x.push_row(row);
+  }
+  return x;
+}
+
+TEST(JacobiEigen, DiagonalisesKnownMatrix) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  Matrix m{{2.0, 1.0}, {1.0, 2.0}};
+  const auto e = jacobi_eigen(m);
+  ASSERT_EQ(e.values.size(), 2u);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-9);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-9);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(e.vectors(0, 0)), std::sqrt(0.5), 1e-9);
+  EXPECT_NEAR(std::abs(e.vectors(0, 1)), std::sqrt(0.5), 1e-9);
+}
+
+TEST(JacobiEigen, VectorsAreOrthonormal) {
+  Matrix m{{4.0, 1.0, 0.5}, {1.0, 3.0, 0.2}, {0.5, 0.2, 2.0}};
+  const auto e = jacobi_eigen(m);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double d = dot(e.vectors.row(i), e.vectors.row(j));
+      EXPECT_NEAR(d, i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(JacobiEigen, NonSquareThrows) {
+  Matrix m(2, 3);
+  EXPECT_THROW(jacobi_eigen(m), std::invalid_argument);
+}
+
+TEST(PcaDetector, FlagsOffSubspacePoints) {
+  Rng rng(4);
+  Matrix x = line_cloud(600, rng);
+  PcaDetector det;
+  det.fit(x, rng);
+  EXPECT_GE(det.components(), 1u);
+  const double on_line[2] = {0.5, 1.0};
+  const double off_line[2] = {0.5, -1.0};
+  EXPECT_GT(det.score(off_line), det.score(on_line) + 0.5);
+  EXPECT_EQ(det.predict(off_line), 1);
+  EXPECT_EQ(det.predict(on_line), 0);
+}
+
+TEST(PcaDetector, VarianceBudgetControlsComponents) {
+  Rng rng(5);
+  Matrix x = line_cloud(400, rng);
+  PcaDetector tight({.variance_to_keep = 0.50, .threshold_quantile = 0.98});
+  PcaDetector loose({.variance_to_keep = 0.9999, .threshold_quantile = 0.98});
+  tight.fit(x, rng);
+  loose.fit(x, rng);
+  EXPECT_LE(tight.components(), loose.components());
+}
+
+TEST(KnnDetector, FarPointScoresHigher) {
+  Rng rng(6);
+  Matrix x = line_cloud(500, rng);
+  KnnDetector det;
+  det.fit(x, rng);
+  const double near_pt[2] = {0.2, 0.4};
+  const double far_pt[2] = {6.0, -6.0};
+  EXPECT_GT(det.score(far_pt), det.score(near_pt));
+  EXPECT_EQ(det.predict(far_pt), 1);
+}
+
+TEST(KnnDetector, ReferenceSubsampling) {
+  Rng rng(7);
+  Matrix x = line_cloud(500, rng);
+  KnnDetector det({.k = 5, .max_reference = 100, .threshold_quantile = 0.98});
+  det.fit(x, rng);
+  EXPECT_EQ(det.reference_size(), 100u);
+}
+
+TEST(KMeans, RecoversSeparatedClusters) {
+  Rng rng(8);
+  Matrix x(0, 2);
+  for (int i = 0; i < 100; ++i) {
+    const double a[2] = {rng.normal(0.0, 0.2), rng.normal(0.0, 0.2)};
+    x.push_row(a);
+    const double b[2] = {rng.normal(10.0, 0.2), rng.normal(10.0, 0.2)};
+    x.push_row(b);
+  }
+  const auto fit = kmeans(x, 2, rng);
+  ASSERT_EQ(fit.centroids.rows(), 2u);
+  // One centroid near (0,0), the other near (10,10), in either order.
+  const double c0 = fit.centroids(0, 0) + fit.centroids(0, 1);
+  const double c1 = fit.centroids(1, 0) + fit.centroids(1, 1);
+  EXPECT_NEAR(std::min(c0, c1), 0.0, 1.0);
+  EXPECT_NEAR(std::max(c0, c1), 20.0, 1.0);
+  EXPECT_LT(fit.inertia / static_cast<double>(x.rows()), 0.5);
+}
+
+TEST(KMeansBic, PrefersTwoClustersForTwoBlobs) {
+  Rng rng(9);
+  Matrix x(0, 2);
+  for (int i = 0; i < 150; ++i) {
+    const double a[2] = {rng.normal(0.0, 0.3), rng.normal(0.0, 0.3)};
+    x.push_row(a);
+    const double b[2] = {rng.normal(8.0, 0.3), rng.normal(8.0, 0.3)};
+    x.push_row(b);
+  }
+  const auto one = kmeans(x, 1, rng);
+  const auto two = kmeans(x, 2, rng);
+  EXPECT_GT(kmeans_bic(x, two), kmeans_bic(x, one));
+}
+
+TEST(XMeans, LearnsClusterCountAndScores) {
+  Rng rng(10);
+  Matrix x(0, 2);
+  for (int i = 0; i < 150; ++i) {
+    const double a[2] = {rng.normal(0.0, 0.3), rng.normal(0.0, 0.3)};
+    x.push_row(a);
+    const double b[2] = {rng.normal(8.0, 0.3), rng.normal(0.0, 0.3)};
+    x.push_row(b);
+    const double c[2] = {rng.normal(4.0, 0.3), rng.normal(7.0, 0.3)};
+    x.push_row(c);
+  }
+  XMeans det({.k_min = 2, .k_max = 12, .threshold_quantile = 0.98});
+  det.fit(x, rng);
+  EXPECT_GE(det.cluster_count(), 3u);
+  const double inside[2] = {0.0, 0.0};
+  const double outside[2] = {20.0, -20.0};
+  EXPECT_GT(det.score(outside), det.score(inside));
+  EXPECT_EQ(det.predict(outside), 1);
+}
+
+TEST(Vae, TrainsAndSeparates) {
+  Rng rng(11);
+  Matrix x = line_cloud(600, rng);
+  Vae det([] {
+    VaeConfig c;
+    c.encoder_hidden = {8};
+    c.latent = 2;
+    c.decoder_hidden = {8};
+    c.epochs = 60;
+    return c;
+  }());
+  det.fit(x, rng);
+  const double on_line[2] = {0.5, 1.0};
+  const double off_line[2] = {1.0, -2.0};
+  EXPECT_GT(det.score(off_line), det.score(on_line));
+}
+
+TEST(Detectors, UnfittedThrow) {
+  PcaDetector pca;
+  KnnDetector knn;
+  XMeans xm;
+  Vae vae;
+  const double p[2] = {0.0, 0.0};
+  EXPECT_THROW(pca.score(p), std::logic_error);
+  EXPECT_THROW(knn.score(p), std::logic_error);
+  EXPECT_THROW(xm.score(p), std::logic_error);
+  EXPECT_THROW(vae.score(p), std::logic_error);
+}
+
+TEST(Detectors, NamesAreDistinct) {
+  PcaDetector pca;
+  KnnDetector knn;
+  XMeans xm;
+  Vae vae;
+  EXPECT_NE(pca.name(), knn.name());
+  EXPECT_NE(xm.name(), vae.name());
+}
+
+}  // namespace
+}  // namespace iguard::ml

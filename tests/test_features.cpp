@@ -1,0 +1,143 @@
+#include "features/flow_features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace iguard::features {
+namespace {
+
+traffic::Packet mk(double ts, std::uint16_t len, bool mal = false) {
+  traffic::Packet p;
+  p.ts = ts;
+  p.ft = {0x0A000001, 0x0A000002, 1000, 80, traffic::kProtoTcp};
+  p.length = len;
+  p.ttl = 64;
+  p.malicious = mal;
+  return p;
+}
+
+TEST(FeatureNames, CountsMatch) {
+  EXPECT_EQ(feature_names(FeatureSet::kSwitch13).size(), kSwitchFeatureCount);
+  EXPECT_EQ(feature_names(FeatureSet::kCpuExtended).size(), kCpuFeatureCount);
+  EXPECT_EQ(feature_count(FeatureSet::kSwitch13), 13u);
+  EXPECT_EQ(feature_count(FeatureSet::kCpuExtended), 19u);
+}
+
+TEST(FlowStats, HandComputedFeatures) {
+  // Packets: sizes 100, 200, 300 at t = 0, 1, 3.
+  FlowStats st;
+  st.add(mk(0.0, 100), true);
+  st.add(mk(1.0, 200), true);
+  st.add(mk(3.0, 300), true);
+  const auto f = finalize_features(st, FeatureSet::kSwitch13);
+  EXPECT_DOUBLE_EQ(f[0], 3.0);     // pkt_count
+  EXPECT_DOUBLE_EQ(f[1], 600.0);   // total_size
+  EXPECT_DOUBLE_EQ(f[2], 200.0);   // mean_size
+  // var = (100^2+200^2+300^2)/3 - 200^2 = 46666.7 - 40000
+  EXPECT_NEAR(f[4], 20000.0 / 3.0, 1e-9);
+  EXPECT_NEAR(f[3], std::sqrt(20000.0 / 3.0), 1e-9);
+  EXPECT_DOUBLE_EQ(f[5], 100.0);   // min
+  EXPECT_DOUBLE_EQ(f[6], 300.0);   // max
+  EXPECT_DOUBLE_EQ(f[7], 1.5);     // mean ipd of {1, 2}
+  EXPECT_DOUBLE_EQ(f[8], 1.0);     // min ipd
+  EXPECT_NEAR(f[9], 0.25, 1e-12);  // var ipd
+  EXPECT_DOUBLE_EQ(f[11], 2.0);    // max ipd
+  EXPECT_DOUBLE_EQ(f[12], 3.0);    // duration
+}
+
+TEST(FlowStats, SinglePacketHasZeroIpdStats) {
+  FlowStats st;
+  st.add(mk(5.0, 77), false);
+  const auto f = finalize_features(st, FeatureSet::kSwitch13);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);
+  EXPECT_DOUBLE_EQ(f[7], 0.0);
+  EXPECT_DOUBLE_EQ(f[12], 0.0);
+}
+
+TEST(FlowStats, CpuExtendedPercentilesAndContext) {
+  FlowStats st;
+  st.add(mk(0.0, 100), true);
+  st.add(mk(1.0, 200), true);
+  st.add(mk(2.0, 300), true);
+  st.add(mk(3.0, 400), true);
+  const auto f = finalize_features(st, FeatureSet::kCpuExtended);
+  ASSERT_EQ(f.size(), kCpuFeatureCount);
+  EXPECT_NEAR(f[13], 175.0, 1e-9);  // size p25 of {100,200,300,400}
+  EXPECT_NEAR(f[14], 325.0, 1e-9);  // size p75
+  EXPECT_DOUBLE_EQ(f[17], 80.0);    // dst_port
+  EXPECT_DOUBLE_EQ(f[18], 6.0);     // proto
+}
+
+TEST(Extract, BidirectionalPacketsShareOneFlow) {
+  traffic::Trace t;
+  t.packets.push_back(mk(0.0, 100));
+  auto rev = mk(0.5, 150);
+  rev.ft = rev.ft.reversed();
+  t.packets.push_back(rev);
+  t.packets.push_back(mk(1.0, 200));
+  ExtractorConfig cfg;
+  const auto ds = extract_flows(t, cfg);
+  ASSERT_EQ(ds.x.rows(), 1u);
+  EXPECT_DOUBLE_EQ(ds.x(0, 0), 3.0);  // all three packets aggregated
+}
+
+TEST(Extract, PacketThresholdSplitsFlow) {
+  traffic::Trace t;
+  for (int i = 0; i < 10; ++i) t.packets.push_back(mk(0.1 * i, 100));
+  ExtractorConfig cfg;
+  cfg.packet_threshold = 4;
+  cfg.min_packets = 2;
+  const auto ds = extract_flows(t, cfg);
+  // 10 packets -> records of 4, 4, and residual 2.
+  ASSERT_EQ(ds.x.rows(), 3u);
+  EXPECT_DOUBLE_EQ(ds.x(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(ds.x(2, 0), 2.0);
+}
+
+TEST(Extract, IdleTimeoutSplitsFlow) {
+  traffic::Trace t;
+  t.packets.push_back(mk(0.0, 100));
+  t.packets.push_back(mk(0.5, 100));
+  t.packets.push_back(mk(100.0, 100));  // long idle gap
+  t.packets.push_back(mk(100.5, 100));
+  ExtractorConfig cfg;
+  cfg.idle_timeout = 10.0;
+  const auto ds = extract_flows(t, cfg);
+  ASSERT_EQ(ds.x.rows(), 2u);
+  EXPECT_DOUBLE_EQ(ds.x(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(ds.x(1, 0), 2.0);
+}
+
+TEST(Extract, MinPacketsFilters) {
+  traffic::Trace t;
+  t.packets.push_back(mk(0.0, 100));
+  ExtractorConfig cfg;
+  cfg.min_packets = 2;
+  EXPECT_EQ(extract_flows(t, cfg).x.rows(), 0u);
+}
+
+TEST(Extract, MaliciousLabelPropagates) {
+  traffic::Trace t;
+  t.packets.push_back(mk(0.0, 100, false));
+  t.packets.push_back(mk(1.0, 100, true));  // one bad packet taints the flow
+  ExtractorConfig cfg;
+  const auto ds = extract_flows(t, cfg);
+  ASSERT_EQ(ds.labels.size(), 1u);
+  EXPECT_EQ(ds.labels[0], 1);
+}
+
+TEST(PacketFeatures, EarlyPacketsOnly) {
+  traffic::Trace t;
+  for (int i = 0; i < 10; ++i) t.packets.push_back(mk(0.1 * i, 100));
+  const auto ds = extract_packet_features(t, 3);
+  ASSERT_EQ(ds.x.rows(), 3u);
+  EXPECT_EQ(ds.x.cols(), kPacketFeatureCount);
+  EXPECT_DOUBLE_EQ(ds.x(0, 0), 80.0);  // dst_port
+  EXPECT_DOUBLE_EQ(ds.x(0, 1), 6.0);   // proto
+  EXPECT_DOUBLE_EQ(ds.x(0, 2), 100.0); // length
+  EXPECT_DOUBLE_EQ(ds.x(0, 3), 64.0);  // ttl
+}
+
+}  // namespace
+}  // namespace iguard::features

@@ -1,0 +1,112 @@
+#include "ml/iforest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace iguard::ml {
+namespace {
+
+Matrix gaussian_blob(std::size_t n, std::size_t m, double mean, double sd, Rng& rng) {
+  Matrix x(n, m);
+  for (auto& v : x.flat()) v = rng.normal(mean, sd);
+  return x;
+}
+
+TEST(AveragePathLength, KnownValues) {
+  EXPECT_DOUBLE_EQ(average_path_length(0), 0.0);
+  EXPECT_DOUBLE_EQ(average_path_length(1), 0.0);
+  EXPECT_DOUBLE_EQ(average_path_length(2), 1.0);
+  // c(n) = 2 H(n-1) - 2 (n-1)/n with H(i) ~ ln(i) + gamma.
+  const double c256 = average_path_length(256);
+  EXPECT_NEAR(c256, 2.0 * (std::log(255.0) + 0.5772156649) - 2.0 * 255.0 / 256.0, 1e-9);
+  EXPECT_GT(average_path_length(1000), average_path_length(100));
+}
+
+TEST(IsolationForest, OutlierGetsShorterPathAndHigherScore) {
+  Rng rng(17);
+  Matrix x = gaussian_blob(512, 3, 0.0, 1.0, rng);
+  IsolationForest f({.num_trees = 100, .subsample = 128, .contamination = 0.05});
+  f.fit(x, rng);
+
+  const double inlier[] = {0.0, 0.0, 0.0};
+  const double outlier[] = {9.0, -9.0, 9.0};
+  EXPECT_LT(f.expected_path_length(outlier), f.expected_path_length(inlier));
+  EXPECT_GT(f.anomaly_score(outlier), f.anomaly_score(inlier));
+  EXPECT_GT(f.anomaly_score(outlier), 0.6);
+  EXPECT_LT(f.anomaly_score(inlier), 0.55);
+}
+
+TEST(IsolationForest, ScoreInUnitInterval) {
+  Rng rng(23);
+  Matrix x = gaussian_blob(256, 2, 5.0, 2.0, rng);
+  IsolationForest f({.num_trees = 50, .subsample = 64, .contamination = 0.1});
+  f.fit(x, rng);
+  for (int i = 0; i < 50; ++i) {
+    const double p[] = {rng.uniform(-20.0, 20.0), rng.uniform(-20.0, 20.0)};
+    const double s = f.anomaly_score(p);
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+  }
+}
+
+TEST(IsolationForest, PathLengthBoundedByHeightCapPlusAdjustment) {
+  Rng rng(5);
+  Matrix x = gaussian_blob(512, 2, 0.0, 1.0, rng);
+  const std::size_t psi = 128;
+  IsolationForest f({.num_trees = 20, .subsample = psi, .contamination = 0.05});
+  f.fit(x, rng);
+  const double cap = std::ceil(std::log2(static_cast<double>(psi)));
+  for (const auto& tree : f.trees()) {
+    for (const auto& n : tree.nodes) {
+      EXPECT_LE(n.depth, cap);
+    }
+  }
+}
+
+TEST(IsolationForest, ContaminationControlsThreshold) {
+  Rng rng(29);
+  Matrix x = gaussian_blob(1000, 2, 0.0, 1.0, rng);
+  IsolationForest strict({.num_trees = 50, .subsample = 128, .contamination = 0.01});
+  IsolationForest loose({.num_trees = 50, .subsample = 128, .contamination = 0.30});
+  Rng r1(7), r2(7);
+  strict.fit(x, r1);
+  loose.fit(x, r2);
+  // Looser contamination => lower score threshold => more anomalies.
+  EXPECT_LT(loose.threshold(), strict.threshold());
+}
+
+TEST(IsolationForest, DeterministicGivenSeed) {
+  Matrix x;
+  {
+    Rng rng(31);
+    x = gaussian_blob(200, 2, 0.0, 1.0, rng);
+  }
+  IsolationForest a({.num_trees = 10, .subsample = 64, .contamination = 0.1});
+  IsolationForest b({.num_trees = 10, .subsample = 64, .contamination = 0.1});
+  Rng r1(99), r2(99);
+  a.fit(x, r1);
+  b.fit(x, r2);
+  const double p[] = {0.3, -0.4};
+  EXPECT_DOUBLE_EQ(a.anomaly_score(p), b.anomaly_score(p));
+}
+
+TEST(IsolationForest, EmptyFitThrows) {
+  IsolationForest f;
+  Rng rng(1);
+  Matrix empty;
+  EXPECT_THROW(f.fit(empty, rng), std::invalid_argument);
+}
+
+TEST(IsolationForest, ConstantDataBecomesLeafOnly) {
+  Matrix x(50, 2, 3.0);
+  IsolationForest f({.num_trees = 5, .subsample = 32, .contamination = 0.1});
+  Rng rng(2);
+  f.fit(x, rng);
+  for (const auto& tree : f.trees()) {
+    EXPECT_EQ(tree.nodes.size(), 1u);  // cannot split identical samples
+  }
+}
+
+}  // namespace
+}  // namespace iguard::ml

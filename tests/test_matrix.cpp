@@ -1,0 +1,64 @@
+#include "ml/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iguard::ml {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, RowSpanWritesThrough) {
+  Matrix m(2, 2);
+  auto r = m.row(0);
+  r[1] = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(Matrix, PushRowSetsWidthOnFirst) {
+  Matrix m;
+  const double v[] = {1.0, 2.0, 3.0};
+  m.push_row(v);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.rows(), 1u);
+  const double w[] = {4.0, 5.0};
+  EXPECT_THROW(m.push_row(w), std::invalid_argument);
+}
+
+TEST(Matrix, Gather) {
+  Matrix m{{1.0, 0.0}, {2.0, 0.0}, {3.0, 0.0}};
+  const std::size_t idx[] = {2, 0};
+  Matrix g = m.gather(idx);
+  EXPECT_EQ(g.rows(), 2u);
+  EXPECT_DOUBLE_EQ(g(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(g(1, 0), 1.0);
+}
+
+TEST(Kernels, DotAxpySqDist) {
+  const double a[] = {1.0, 2.0, 3.0};
+  const double b[] = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  double dst[] = {1.0, 1.0, 1.0};
+  axpy(2.0, a, dst);
+  EXPECT_DOUBLE_EQ(dst[2], 7.0);
+  EXPECT_DOUBLE_EQ(sq_dist(a, b), 27.0);
+}
+
+}  // namespace
+}  // namespace iguard::ml

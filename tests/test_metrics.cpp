@@ -1,0 +1,112 @@
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace iguard::eval {
+namespace {
+
+TEST(Confusion, CountsCells) {
+  const std::vector<int> truth = {1, 1, 0, 0, 1, 0};
+  const std::vector<int> pred = {1, 0, 0, 1, 1, 0};
+  const Confusion c = confusion(truth, pred);
+  EXPECT_EQ(c.tp, 2u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.tn, 2u);
+  EXPECT_NEAR(c.accuracy(), 4.0 / 6.0, 1e-12);
+}
+
+TEST(MacroF1, PerfectPrediction) {
+  const std::vector<int> t = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(macro_f1(t, t), 1.0);
+}
+
+TEST(MacroF1, HandComputed) {
+  // tp=2 fn=1 fp=1 tn=2: F1(1) = 2*2/(4+1+1)=2/3; F1(0) = 2*2/(4+1+1)=2/3.
+  const std::vector<int> truth = {1, 1, 0, 0, 1, 0};
+  const std::vector<int> pred = {1, 0, 0, 1, 1, 0};
+  EXPECT_NEAR(macro_f1(truth, pred), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MacroF1, AllOnePredictionPenalisesOtherClass) {
+  const std::vector<int> truth = {1, 1, 0, 0};
+  const std::vector<int> pred = {1, 1, 1, 1};
+  // F1(1) = 2*2/(4+2) = 2/3, F1(0) = 0 -> macro 1/3.
+  EXPECT_NEAR(macro_f1(truth, pred), 1.0 / 3.0, 1e-12);
+}
+
+TEST(RocAuc, PerfectSeparation) {
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<double> score = {0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(roc_auc(truth, score), 1.0);
+}
+
+TEST(RocAuc, ReversedScoresGiveZero) {
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<double> score = {0.9, 0.8, 0.2, 0.1};
+  EXPECT_DOUBLE_EQ(roc_auc(truth, score), 0.0);
+}
+
+TEST(RocAuc, ConstantScoresGiveHalf) {
+  const std::vector<int> truth = {0, 1, 0, 1};
+  const std::vector<double> score = {0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(roc_auc(truth, score), 0.5);
+}
+
+TEST(RocAuc, HandComputedWithTie) {
+  // scores: pos {0.8, 0.5}, neg {0.5, 0.2}. Pairs: (0.8>0.5)=1, (0.8>0.2)=1,
+  // (0.5=0.5)=0.5, (0.5>0.2)=1 -> AUC = 3.5/4.
+  const std::vector<int> truth = {1, 1, 0, 0};
+  const std::vector<double> score = {0.8, 0.5, 0.5, 0.2};
+  EXPECT_NEAR(roc_auc(truth, score), 3.5 / 4.0, 1e-12);
+}
+
+TEST(RocAuc, InvariantToMonotoneTransform) {
+  const std::vector<int> truth = {0, 1, 0, 1, 1, 0, 1, 0};
+  std::vector<double> score = {0.1, 0.7, 0.3, 0.9, 0.6, 0.2, 0.4, 0.5};
+  const double base = roc_auc(truth, score);
+  for (auto& s : score) s = std::exp(3.0 * s);  // strictly increasing
+  EXPECT_NEAR(roc_auc(truth, score), base, 1e-12);
+}
+
+TEST(PrAuc, PerfectSeparation) {
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<double> score = {0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(pr_auc(truth, score), 1.0);
+}
+
+TEST(PrAuc, NoPositivesIsZero) {
+  const std::vector<int> truth = {0, 0, 0};
+  const std::vector<double> score = {0.1, 0.2, 0.3};
+  EXPECT_DOUBLE_EQ(pr_auc(truth, score), 0.0);
+}
+
+TEST(PrAuc, HandComputed) {
+  // Ranking desc: (0.9,pos) (0.8,neg) (0.7,pos) (0.1,neg).
+  // AP = 1/2*(1/1) + 1/2*(2/3) = 0.8333...
+  const std::vector<int> truth = {1, 0, 1, 0};
+  const std::vector<double> score = {0.9, 0.8, 0.7, 0.1};
+  EXPECT_NEAR(pr_auc(truth, score), (1.0 + 2.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(EvaluateScores, ThresholdSplitsPredictions) {
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<double> score = {0.1, 0.4, 0.6, 0.9};
+  const auto m = evaluate_scores(truth, score, 0.5);
+  EXPECT_DOUBLE_EQ(m.macro_f1, 1.0);
+  EXPECT_DOUBLE_EQ(m.roc_auc, 1.0);
+  EXPECT_DOUBLE_EQ(m.pr_auc, 1.0);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  const std::vector<int> truth = {0, 1};
+  const std::vector<double> score = {0.1};
+  EXPECT_THROW(roc_auc(truth, score), std::invalid_argument);
+  EXPECT_THROW(pr_auc(truth, score), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iguard::eval

@@ -1,0 +1,111 @@
+#include "ml/nn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace iguard::ml {
+namespace {
+
+TEST(Activation, Values) {
+  EXPECT_DOUBLE_EQ(apply_activation(Activation::kLinear, -2.0), -2.0);
+  EXPECT_DOUBLE_EQ(apply_activation(Activation::kRelu, -2.0), 0.0);
+  EXPECT_DOUBLE_EQ(apply_activation(Activation::kRelu, 3.0), 3.0);
+  EXPECT_NEAR(apply_activation(Activation::kSigmoid, 0.0), 0.5, 1e-12);
+  EXPECT_NEAR(apply_activation(Activation::kTanh, 0.0), 0.0, 1e-12);
+}
+
+// Numerical check: grad-from-output matches finite differences of f.
+TEST(Activation, GradMatchesFiniteDifference) {
+  const double eps = 1e-6;
+  for (Activation a : {Activation::kLinear, Activation::kSigmoid, Activation::kTanh}) {
+    for (double z : {-1.5, -0.3, 0.2, 1.1}) {
+      const double y = apply_activation(a, z);
+      const double num =
+          (apply_activation(a, z + eps) - apply_activation(a, z - eps)) / (2.0 * eps);
+      EXPECT_NEAR(activation_grad_from_output(a, y), num, 1e-5);
+    }
+  }
+}
+
+TEST(DenseLayer, ForwardComputesAffine) {
+  Rng rng(1);
+  DenseLayer layer(2, 1, Activation::kLinear, rng);
+  std::vector<double> y;
+  const double x[] = {1.0, 2.0};
+  layer.forward(x, y);
+  const double expect = layer.weights()(0, 0) * 1.0 + layer.weights()(0, 1) * 2.0;
+  EXPECT_NEAR(y[0], expect, 1e-12);
+}
+
+TEST(DenseLayer, BadInputWidthThrows) {
+  Rng rng(1);
+  DenseLayer layer(3, 2, Activation::kRelu, rng);
+  std::vector<double> y;
+  const double x[] = {1.0};
+  EXPECT_THROW(layer.forward(x, y), std::invalid_argument);
+}
+
+// Gradient check for a small MLP: analytic dL/dx vs finite differences.
+TEST(Mlp, GradientCheckInputGrad) {
+  Rng rng(3);
+  const std::size_t dims[] = {3, 4, 2};
+  const Activation acts[] = {Activation::kTanh, Activation::kLinear};
+  Mlp net(dims, acts, rng);
+
+  std::vector<double> x = {0.3, -0.7, 0.9};
+  const std::vector<double> target = {0.5, -0.2};
+
+  auto loss_at = [&](const std::vector<double>& in) {
+    const auto& y = net.forward(in);
+    double l = 0.0;
+    for (std::size_t j = 0; j < y.size(); ++j) l += (y[j] - target[j]) * (y[j] - target[j]);
+    return l / static_cast<double>(y.size());
+  };
+
+  const auto& y = net.forward(x);
+  std::vector<double> dout(y.size());
+  for (std::size_t j = 0; j < y.size(); ++j)
+    dout[j] = 2.0 * (y[j] - target[j]) / static_cast<double>(y.size());
+  std::vector<double> dx;
+  net.backward(dout, dx);
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    auto xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const double num = (loss_at(xp) - loss_at(xm)) / (2.0 * eps);
+    EXPECT_NEAR(dx[i], num, 1e-5) << "input " << i;
+  }
+}
+
+TEST(Mlp, LearnsLinearMap) {
+  Rng rng(5);
+  const std::size_t dims[] = {2, 8, 1};
+  const Activation acts[] = {Activation::kTanh, Activation::kLinear};
+  Mlp net(dims, acts, rng);
+
+  // y = 2a - b over a grid.
+  Matrix x(0, 2), t(0, 1);
+  for (double a = -1.0; a <= 1.0; a += 0.2) {
+    for (double b = -1.0; b <= 1.0; b += 0.2) {
+      const double row[] = {a, b};
+      x.push_row(row);
+      const double yr[] = {2.0 * a - b};
+      t.push_row(yr);
+    }
+  }
+  const double final_loss = net.fit(x, t, 300, 16, 5e-3, rng);
+  EXPECT_LT(final_loss, 5e-3);
+}
+
+TEST(Mlp, DimsActsMismatchThrows) {
+  Rng rng(1);
+  const std::size_t dims[] = {2, 3};
+  const Activation acts[] = {Activation::kRelu, Activation::kRelu};
+  EXPECT_THROW(Mlp(dims, acts, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iguard::ml

@@ -1,0 +1,124 @@
+// Tests for the pcap I/O round trip and the online whitelist updater.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/online_update.hpp"
+#include "trafficgen/attacks.hpp"
+#include "trafficgen/benign.hpp"
+#include "trafficgen/pcap_io.hpp"
+
+namespace iguard {
+namespace {
+
+// --- pcap ---------------------------------------------------------------
+
+TEST(PcapIo, RoundTripPreservesHeadersAndTiming) {
+  ml::Rng rng(5);
+  traffic::BenignConfig cfg;
+  cfg.flows = 50;
+  const auto original = traffic::benign_trace(cfg, rng);
+
+  std::stringstream buf;
+  traffic::write_pcap(buf, original);
+  const auto parsed = traffic::read_pcap(buf);
+
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const auto& a = original.packets[i];
+    const auto& b = parsed.packets[i];
+    EXPECT_EQ(b.ft, a.ft) << i;
+    EXPECT_EQ(b.ttl, a.ttl) << i;
+    // Tiny packets are padded up to the minimal header stack on the wire.
+    EXPECT_EQ(b.length, std::max<std::uint16_t>(a.length, 28)) << i;
+    EXPECT_NEAR(b.ts, a.ts, 2e-6) << i;  // microsecond container resolution
+  }
+}
+
+TEST(PcapIo, RejectsBadMagic) {
+  std::stringstream buf;
+  buf.write("\x12\x34\x56\x78garbagegarbagegarbage", 28);
+  EXPECT_THROW(traffic::read_pcap(buf), std::runtime_error);
+}
+
+TEST(PcapIo, FileRoundTrip) {
+  ml::Rng rng(6);
+  traffic::AttackConfig cfg;
+  cfg.flows = 10;
+  const auto t = traffic::attack_trace(traffic::AttackType::kMirai, cfg, rng);
+  const std::string path = "/tmp/iguard_pcap_test.pcap";
+  traffic::write_pcap_file(path, t);
+  const auto parsed = traffic::read_pcap_file(path);
+  EXPECT_EQ(parsed.size(), t.size());
+  // pcap carries no ground truth.
+  for (const auto& p : parsed.packets) EXPECT_FALSE(p.malicious);
+}
+
+TEST(PcapIo, MissingFileThrows) {
+  EXPECT_THROW(traffic::read_pcap_file("/nonexistent/x.pcap"), std::runtime_error);
+}
+
+// --- online updater -------------------------------------------------------
+
+core::VoteWhitelist make_whitelist() {
+  core::VoteWhitelist wl;
+  wl.tree_count = 3;
+  // Three tables around the same region; table 2's box is narrower, so a
+  // borderline benign key is majority-benign but misses table 2.
+  for (std::uint32_t hi : {100u, 100u, 80u}) {
+    wl.tables.emplace_back(std::vector<rules::RangeRule>{
+        {std::vector<rules::FieldRange>{{10, hi}, {10, hi}}, 0, 0}});
+  }
+  return wl;
+}
+
+TEST(WhitelistUpdater, ExtendsOnlyMissingTables) {
+  auto wl = make_whitelist();
+  core::WhitelistUpdater upd(wl, {.max_extension_per_field = 15, .max_updates = 100});
+  const std::uint32_t key[2] = {90, 90};  // inside tables 0/1, 10 outside table 2
+  EXPECT_EQ(wl.classify(key), 0);         // already majority benign
+  EXPECT_EQ(upd.observe_benign(key), 1u); // table 2 extended
+  EXPECT_EQ(wl.tables[2].rules()[0].fields[0].hi, 90u);
+  EXPECT_TRUE(wl.tables[2].match(key).has_value());
+  EXPECT_EQ(upd.extensions_applied(), 1u);
+}
+
+TEST(WhitelistUpdater, BudgetBlocksLargeJumps) {
+  auto wl = make_whitelist();
+  core::WhitelistUpdater upd(wl, {.max_extension_per_field = 5, .max_updates = 100});
+  const std::uint32_t key[2] = {90, 90};  // gap of 10 > budget 5 for table 2
+  EXPECT_EQ(upd.observe_benign(key), 0u);
+  EXPECT_EQ(wl.tables[2].rules()[0].fields[0].hi, 80u);  // untouched
+}
+
+TEST(WhitelistUpdater, FullyCoveredKeysCountedNotModified) {
+  auto wl = make_whitelist();
+  core::WhitelistUpdater upd(wl);
+  const std::uint32_t key[2] = {50, 50};
+  EXPECT_EQ(upd.observe_benign(key), 0u);
+  EXPECT_EQ(upd.keys_fully_covered(), 1u);
+  EXPECT_EQ(upd.keys_seen(), 1u);
+}
+
+TEST(WhitelistUpdater, MaxUpdatesIsRespected) {
+  auto wl = make_whitelist();
+  core::WhitelistUpdater upd(wl, {.max_extension_per_field = 1000, .max_updates = 1});
+  const std::uint32_t k1[2] = {90, 90};
+  const std::uint32_t k2[2] = {5, 5};
+  EXPECT_EQ(upd.observe_benign(k1), 1u);  // uses the single allowed update
+  const auto before = wl.tables[0].rules()[0];
+  EXPECT_EQ(upd.observe_benign(k2), 0u);  // budget exhausted
+  EXPECT_EQ(wl.tables[0].rules()[0].fields[0].lo, before.fields[0].lo);
+}
+
+TEST(WhitelistUpdater, RepeatedObservationsConverge) {
+  auto wl = make_whitelist();
+  core::WhitelistUpdater upd(wl, {.max_extension_per_field = 15, .max_updates = 100});
+  const std::uint32_t key[2] = {90, 90};
+  upd.observe_benign(key);
+  EXPECT_EQ(upd.observe_benign(key), 0u);  // second pass: fully covered
+  EXPECT_EQ(upd.keys_fully_covered(), 1u);
+}
+
+}  // namespace
+}  // namespace iguard

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "eval/gridsearch.hpp"
+#include "eval/metrics.hpp"
+#include "eval/protocol.hpp"
+#include "eval/report.hpp"
+
+#include <sstream>
+
+namespace iguard::eval {
+namespace {
+
+ml::Matrix rows(std::size_t n, double v) {
+  ml::Matrix m(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, 0) = v;
+    m(i, 1) = static_cast<double>(i);
+  }
+  return m;
+}
+
+TEST(Protocol, SplitSizesFollowFractions) {
+  ml::Rng rng(1);
+  const auto split = make_split(rows(1000, 0.0), rows(500, 1.0), {}, rng);
+  // 30% test, 20% of the rest validation.
+  EXPECT_EQ(split.train_x.rows(), 560u);
+  // val = 140 benign + attack count such that attacks are ~20% of the set.
+  const double val_attack =
+      static_cast<double>(std::count(split.val_y.begin(), split.val_y.end(), 1));
+  EXPECT_NEAR(val_attack / static_cast<double>(split.val_y.size()), 0.20, 0.02);
+  const double test_attack =
+      static_cast<double>(std::count(split.test_y.begin(), split.test_y.end(), 1));
+  EXPECT_NEAR(test_attack / static_cast<double>(split.test_y.size()), 0.20, 0.02);
+}
+
+TEST(Protocol, BenignRowsAreDisjointAcrossSplits) {
+  ml::Rng rng(2);
+  const auto split = make_split(rows(100, 0.0), rows(50, 1.0), {}, rng);
+  // Column 1 is a unique row id; collect benign ids per split.
+  std::set<double> seen;
+  auto collect = [&](const ml::Matrix& x, const std::vector<int>* y) {
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      if (y && (*y)[i] == 1) continue;
+      if (x(i, 0) != 0.0) continue;  // benign marker
+      EXPECT_TRUE(seen.insert(x(i, 1)).second) << "duplicated benign row";
+    }
+  };
+  collect(split.train_x, nullptr);
+  collect(split.val_x, &split.val_y);
+  collect(split.test_x, &split.test_y);
+}
+
+TEST(Protocol, PoisonAppendsToTraining) {
+  ml::Rng rng(3);
+  auto split = make_split(rows(100, 0.0), rows(50, 1.0), {}, rng);
+  const std::size_t before = split.train_x.rows();
+  poison_training(split, rows(7, 9.0));
+  EXPECT_EQ(split.train_x.rows(), before + 7);
+}
+
+TEST(Protocol, TooLittleDataThrows) {
+  ml::Rng rng(4);
+  EXPECT_THROW(make_split(rows(5, 0.0), rows(5, 1.0), {}, rng), std::invalid_argument);
+}
+
+TEST(GridSearch, PicksArgmaxAndRecordsAll) {
+  const std::vector<int> candidates = {1, 5, 3, 2};
+  const auto out =
+      grid_search<int>(candidates, [](int c) { return static_cast<double>(c * c); });
+  EXPECT_EQ(out.best, 5);
+  EXPECT_DOUBLE_EQ(out.best_score, 25.0);
+  EXPECT_EQ(out.all.size(), 4u);
+}
+
+TEST(GridSearch, EmptyThrows) {
+  const std::vector<int> none;
+  EXPECT_THROW(grid_search<int>(none, [](int) { return 0.0; }), std::invalid_argument);
+}
+
+TEST(DeploymentReward, BalancesAccuracyAndMemory) {
+  // Perfect detection, zero memory: reward 1. All-zero: 0.5 from memory.
+  EXPECT_DOUBLE_EQ(deployment_reward(1.0, 1.0, 1.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(deployment_reward(0.0, 0.0, 0.0, 1.0), 0.0);
+  // More memory lowers the reward at fixed accuracy.
+  EXPECT_GT(deployment_reward(0.9, 0.9, 0.9, 0.1), deployment_reward(0.9, 0.9, 0.9, 0.5));
+  // alpha = 1: memory ignored.
+  EXPECT_DOUBLE_EQ(deployment_reward(0.9, 0.9, 0.9, 0.9, 1.0), 0.9);
+}
+
+TEST(Report, TablePrintsAndCsvRoundtrips) {
+  Table t({"a", "b"});
+  t.add_row({"x", Table::num(1.2345, 2)});
+  t.add_row({"y", Table::pct(0.5, 1)});
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("50.0%"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iguard::eval

@@ -1,0 +1,81 @@
+#include "ml/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace iguard::ml {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.uniform() == b.uniform() ? 1 : 0;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal(3.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, NormalZeroStddevReturnsMean) {
+  Rng r(1);
+  EXPECT_DOUBLE_EQ(r.normal(5.0, 0.0), 5.0);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng r(3);
+  auto idx = r.sample_without_replacement(100, 40);
+  EXPECT_EQ(idx.size(), 40u);
+  std::set<std::size_t> s(idx.begin(), idx.end());
+  EXPECT_EQ(s.size(), 40u);
+  for (std::size_t v : idx) EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementClampsToN) {
+  Rng r(3);
+  auto idx = r.sample_without_replacement(5, 50);
+  EXPECT_EQ(idx.size(), 5u);
+  std::set<std::size_t> s(idx.begin(), idx.end());
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(Rng, IndexInRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.index(7), 7u);
+}
+
+TEST(Rng, ForkIndependentButDeterministic) {
+  Rng a(5), b(5);
+  Rng fa = a.fork(), fb = b.fork();
+  EXPECT_DOUBLE_EQ(fa.uniform(), fb.uniform());
+}
+
+}  // namespace
+}  // namespace iguard::ml

@@ -1,0 +1,75 @@
+#include "ml/scaler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iguard::ml {
+namespace {
+
+TEST(StandardScaler, ZeroMeanUnitVar) {
+  Matrix x{{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}, {4.0, 40.0}};
+  StandardScaler s;
+  Matrix z = s.fit_transform(x);
+  for (std::size_t j = 0; j < 2; ++j) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) mean += z(i, j);
+    mean /= 4.0;
+    for (std::size_t i = 0; i < 4; ++i) var += (z(i, j) - mean) * (z(i, j) - mean);
+    var /= 4.0;
+    EXPECT_NEAR(mean, 0.0, 1e-12);
+    EXPECT_NEAR(var, 1.0, 1e-12);
+  }
+}
+
+TEST(StandardScaler, ConstantColumnMapsToZero) {
+  Matrix x{{5.0}, {5.0}, {5.0}};
+  StandardScaler s;
+  Matrix z = s.fit_transform(x);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(z(i, 0), 0.0);
+}
+
+TEST(StandardScaler, InverseRoundTrip) {
+  Matrix x{{1.0, -3.0}, {4.0, 2.0}, {-2.0, 8.0}};
+  StandardScaler s;
+  Matrix z = s.fit_transform(x);
+  Matrix back = s.inverse_transform(z);
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    for (std::size_t j = 0; j < x.cols(); ++j) EXPECT_NEAR(back(i, j), x(i, j), 1e-10);
+}
+
+TEST(StandardScaler, WidthMismatchThrows) {
+  Matrix x{{1.0, 2.0}};
+  StandardScaler s;
+  s.fit(x);
+  Matrix bad{{1.0, 2.0, 3.0}};
+  EXPECT_THROW(s.transform(bad), std::invalid_argument);
+}
+
+TEST(MinMaxScaler, MapsToUnitInterval) {
+  Matrix x{{0.0, -10.0}, {5.0, 0.0}, {10.0, 10.0}};
+  MinMaxScaler s;
+  Matrix z = s.fit_transform(x);
+  EXPECT_DOUBLE_EQ(z(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(z(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(z(1, 1), 0.5);
+}
+
+TEST(MinMaxScaler, ClampsOutOfRange) {
+  Matrix x{{0.0}, {10.0}};
+  MinMaxScaler s;
+  s.fit(x);
+  Matrix probe{{-5.0}, {15.0}};
+  Matrix z = s.transform(probe);
+  EXPECT_DOUBLE_EQ(z(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(z(1, 0), 1.0);
+}
+
+TEST(Scalers, EmptyFitThrows) {
+  Matrix empty;
+  StandardScaler a;
+  MinMaxScaler b;
+  EXPECT_THROW(a.fit(empty), std::invalid_argument);
+  EXPECT_THROW(b.fit(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iguard::ml

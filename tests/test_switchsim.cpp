@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include "switchsim/flow_state.hpp"
+#include "switchsim/pipeline.hpp"
+#include "switchsim/registers.hpp"
+#include "switchsim/resources.hpp"
+#include "switchsim/tables.hpp"
+#include "switchsim/timing.hpp"
+
+namespace iguard::switchsim {
+namespace {
+
+traffic::Packet mk(double ts, std::uint16_t len, std::uint32_t src = 0x0A000001,
+                   std::uint16_t sport = 1000, bool mal = false) {
+  traffic::Packet p;
+  p.ts = ts;
+  p.ft = {src, 0x0A000002, sport, 80, traffic::kProtoTcp};
+  p.length = len;
+  p.ttl = 64;
+  p.malicious = mal;
+  return p;
+}
+
+// --- IntFlowState ------------------------------------------------------------
+
+TEST(IntFlowState, MatchesFloatExtractorOnIntegerInputs) {
+  // With microsecond-aligned timestamps and integer sizes, the integer
+  // pipeline must agree with the float extractor on count/size features and
+  // be within integer-division error on the rest.
+  IntFlowState st;
+  features::FlowStats fs;
+  const double times[] = {0.0, 0.25, 0.75, 1.0};
+  const std::uint16_t sizes[] = {100, 200, 300, 400};
+  for (int i = 0; i < 4; ++i) {
+    auto p = mk(times[i], sizes[i]);
+    st.update(p, 1);
+    fs.add(p, false);
+  }
+  const auto fi = st.finalize();
+  const auto ff = features::finalize_features(fs, features::FeatureSet::kSwitch13);
+  EXPECT_DOUBLE_EQ(fi[0], ff[0]);  // count
+  EXPECT_DOUBLE_EQ(fi[1], ff[1]);  // total
+  EXPECT_DOUBLE_EQ(fi[5], ff[5]);  // min
+  EXPECT_DOUBLE_EQ(fi[6], ff[6]);  // max
+  EXPECT_NEAR(fi[2], ff[2], 1.0);       // mean size (integer division)
+  EXPECT_NEAR(fi[7], ff[7], 1e-5);      // mean ipd, seconds
+  EXPECT_NEAR(fi[12], ff[12], 1e-6);    // duration
+}
+
+TEST(IntFlowState, ClearFeaturesKeepsLabelAndSig) {
+  IntFlowState st;
+  st.update(mk(0.0, 100), 42);
+  st.label = 1;
+  st.clear_features();
+  EXPECT_EQ(st.pkt_count, 0u);
+  EXPECT_EQ(st.label, 1);
+  EXPECT_EQ(st.sig, 42u);
+}
+
+TEST(IntFlowState, SaturatingSumSquares) {
+  IntFlowState st;
+  auto p = mk(0.0, 1500);
+  // Huge gaps to push the squared-IPD accumulator; must not wrap.
+  for (int i = 0; i < 1000; ++i) {
+    p.ts += 100.0;  // clamped to ~67 s internally
+    st.update(p, 1);
+  }
+  EXPECT_GT(st.sum_sq_ipd_us, 0u);
+  const auto f = st.finalize();
+  for (double v : f) EXPECT_GE(v, 0.0);
+}
+
+TEST(ExtractSwitchFeatures, TruncatesAtThreshold) {
+  traffic::Trace t;
+  for (int i = 0; i < 20; ++i) t.packets.push_back(mk(0.1 * i, 100));
+  const auto ds = extract_switch_features(t, 8, 0.0);
+  ASSERT_EQ(ds.x.rows(), 3u);  // 8 + 8 + residual 4
+  EXPECT_DOUBLE_EQ(ds.x(0, 0), 8.0);
+  EXPECT_DOUBLE_EQ(ds.x(2, 0), 4.0);
+}
+
+// --- FlowStore ---------------------------------------------------------------
+
+TEST(FlowStore, InsertThenFind) {
+  FlowStore store(64);
+  const auto ft = mk(0.0, 100).ft;
+  auto a1 = store.access(ft);
+  EXPECT_TRUE(a1.inserted);
+  a1.state->update(mk(0.0, 100), store.signature(ft));
+  auto a2 = store.access(ft);
+  EXPECT_TRUE(a2.found);
+  EXPECT_EQ(a2.state, a1.state);
+}
+
+TEST(FlowStore, BidirectionalSameSlot) {
+  FlowStore store(64);
+  const auto fwd = mk(0.0, 100).ft;
+  auto a1 = store.access(fwd);
+  a1.state->update(mk(0.0, 100), store.signature(fwd));
+  auto a2 = store.access(fwd.reversed());
+  EXPECT_TRUE(a2.found);
+  EXPECT_EQ(a2.state, a1.state);
+}
+
+TEST(FlowStore, CollisionWhenBothWaysFull) {
+  FlowStore store(1);  // one slot per table: third distinct flow collides
+  for (std::uint16_t sp = 1; sp <= 2; ++sp) {
+    auto a = store.access(mk(0.0, 100, 0x0A000001, sp).ft);
+    ASSERT_TRUE(a.inserted);
+    a.state->update(mk(0.0, 100, 0x0A000001, sp), 1000 + sp);
+  }
+  auto c = store.access(mk(0.0, 100, 0x0A000001, 3).ft);
+  EXPECT_TRUE(c.collision);
+  EXPECT_EQ(store.occupied(), 2u);
+}
+
+// --- BlacklistTable / Controller ----------------------------------------------
+
+TEST(Blacklist, InstallAndMatchBothDirections) {
+  BlacklistTable bl(8);
+  const auto ft = mk(0.0, 100).ft;
+  EXPECT_FALSE(bl.contains(ft));
+  bl.install(ft);
+  EXPECT_TRUE(bl.contains(ft));
+  EXPECT_TRUE(bl.contains(ft.reversed()));
+}
+
+TEST(Blacklist, FifoEviction) {
+  BlacklistTable bl(2, EvictionPolicy::kFifo);
+  const auto f1 = mk(0, 0, 1, 1).ft;
+  const auto f2 = mk(0, 0, 2, 2).ft;
+  const auto f3 = mk(0, 0, 3, 3).ft;
+  bl.install(f1);
+  bl.install(f2);
+  bl.install(f3);  // evicts f1
+  EXPECT_FALSE(bl.contains(f1));
+  EXPECT_TRUE(bl.contains(f2));
+  EXPECT_TRUE(bl.contains(f3));
+  EXPECT_EQ(bl.evictions(), 1u);
+}
+
+TEST(Blacklist, LruEvictionRefreshesOnHit) {
+  BlacklistTable bl(2, EvictionPolicy::kLru);
+  const auto f1 = mk(0, 0, 1, 1).ft;
+  const auto f2 = mk(0, 0, 2, 2).ft;
+  const auto f3 = mk(0, 0, 3, 3).ft;
+  bl.install(f1);
+  bl.install(f2);
+  EXPECT_TRUE(bl.contains(f1));  // refresh f1: f2 becomes LRU
+  bl.install(f3);
+  EXPECT_TRUE(bl.contains(f1));
+  EXPECT_FALSE(bl.contains(f2));
+}
+
+TEST(Controller, DigestAccountingAndInstall) {
+  BlacklistTable bl(8);
+  Controller ctl(bl);
+  const auto ft = mk(0.0, 100).ft;
+  ctl.on_digest({ft, 0});
+  EXPECT_FALSE(bl.contains(ft));  // benign digest: no rule
+  ctl.on_digest({ft, 1});
+  EXPECT_TRUE(bl.contains(ft));
+  EXPECT_EQ(ctl.digests_received(), 2u);
+  EXPECT_EQ(ctl.bytes_received(), 2u * Digest::kBytes);
+  EXPECT_EQ(ctl.rules_installed(), 1u);
+}
+
+// --- Resources / timing --------------------------------------------------------
+
+TEST(Resources, EmptySpecUsesOnlyStorage) {
+  DeploymentSpec spec;
+  const auto u = estimate_resources(spec);
+  EXPECT_DOUBLE_EQ(u.tcam_frac, 0.0);
+  EXPECT_GT(u.sram_frac, 0.0);
+  EXPECT_GT(u.salu_frac, 0.0);
+  EXPECT_EQ(u.stages, 12u);
+}
+
+TEST(Resources, TcamScalesWithRules) {
+  core::VoteWhitelist small, large;
+  small.tree_count = large.tree_count = 1;
+  std::vector<rules::RangeRule> r1(10, rules::RangeRule{{{0, 5}, {0, 5}}, 0, 0});
+  std::vector<rules::RangeRule> r2(100, rules::RangeRule{{{0, 5}, {0, 5}}, 0, 0});
+  small.tables.emplace_back(r1);
+  large.tables.emplace_back(r2);
+  DeploymentSpec a, b;
+  a.fl_rules = &small;
+  b.fl_rules = &large;
+  EXPECT_LT(estimate_resources(a).tcam_frac, estimate_resources(b).tcam_frac);
+  EXPECT_NEAR(estimate_resources(b).tcam_frac / estimate_resources(a).tcam_frac, 10.0, 1e-9);
+}
+
+TEST(Timing, LatencyMatchesPaperBallpark) {
+  TimingConfig cfg;
+  EXPECT_NEAR(pipeline_latency_ns(cfg), 532.8, 1e-9);  // 12 x 44.4 ns
+}
+
+TEST(Timing, ThroughputModels) {
+  TimingConfig cfg;
+  const auto ig = all_dataplane_throughput(cfg, 0.01);
+  EXPECT_NEAR(ig.gbps, 39.6, 1e-9);
+  const auto he = control_assisted_throughput(cfg, 0.5);
+  EXPECT_NEAR(he.gbps, 20.0 + cfg.control_plane_gbps, 1e-9);
+  EXPECT_LT(he.gbps, ig.gbps);
+}
+
+// --- Pipeline paths -------------------------------------------------------------
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest() {
+    // Whitelist: one table accepting everything in [0, max]^13 => every
+    // finalised flow is benign unless we shrink the rule.
+    ml::Matrix fake(2, kSwitchFlFeatures);
+    for (std::size_t j = 0; j < kSwitchFlFeatures; ++j) {
+      fake(0, j) = 0.0;
+      fake(1, j) = 1e6;
+    }
+    quant_.fit(fake);
+    core::VoteWhitelist wl;
+    wl.tree_count = 1;
+    std::vector<rules::RangeRule> rules{
+        {std::vector<rules::FieldRange>(kSwitchFlFeatures, {0, quant_.domain_max()}), 0, 0}};
+    wl.tables.emplace_back(rules);
+    wl_ = std::move(wl);
+  }
+
+  Pipeline make(PipelineConfig cfg) {
+    DeployedModel dm;
+    dm.fl_tables = &wl_;
+    dm.fl_quantizer = &quant_;
+    return Pipeline(cfg, dm);
+  }
+
+  rules::Quantizer quant_{16};
+  core::VoteWhitelist wl_;
+};
+
+TEST_F(PipelineTest, BrownThenBlueThenPurple) {
+  PipelineConfig cfg;
+  cfg.packet_threshold_n = 3;
+  cfg.idle_timeout_delta = 0.0;
+  Pipeline pipe = make(cfg);
+  SimStats st;
+  pipe.process(mk(0.0, 100), st);  // brown (1st)
+  pipe.process(mk(0.1, 100), st);  // brown (2nd)
+  pipe.process(mk(0.2, 100), st);  // blue (3rd = n)
+  pipe.process(mk(0.3, 100), st);  // purple (label stored)
+  EXPECT_EQ(st.path(Path::kBrown), 2u);
+  EXPECT_EQ(st.path(Path::kBlue), 1u);
+  EXPECT_EQ(st.path(Path::kPurple), 1u);
+  EXPECT_EQ(st.flows_classified, 1u);
+  EXPECT_EQ(pipe.controller().digests_received(), 1u);
+}
+
+TEST_F(PipelineTest, TimeoutFinalisesIdleFlow) {
+  PipelineConfig cfg;
+  cfg.packet_threshold_n = 100;
+  cfg.idle_timeout_delta = 1.0;
+  Pipeline pipe = make(cfg);
+  SimStats st;
+  pipe.process(mk(0.0, 100), st);
+  pipe.process(mk(0.1, 100), st);
+  pipe.process(mk(5.0, 100), st);  // idle > 1 s: blue (timeout flavour)
+  EXPECT_EQ(st.path(Path::kBlue), 1u);
+  EXPECT_EQ(st.flows_classified, 1u);
+}
+
+TEST_F(PipelineTest, MaliciousFlowGetsBlacklisted) {
+  // Shrink the whitelist so nothing matches: every classified flow is
+  // malicious => digest installs a blacklist rule => red path afterwards.
+  core::VoteWhitelist deny;
+  deny.tree_count = 1;
+  deny.tables.emplace_back(std::vector<rules::RangeRule>{});
+  DeployedModel dm;
+  dm.fl_tables = &deny;
+  dm.fl_quantizer = &quant_;
+  PipelineConfig cfg;
+  cfg.packet_threshold_n = 2;
+  Pipeline pipe(cfg, dm);
+  SimStats st;
+  pipe.process(mk(0.0, 100, 1, 1, true), st);  // brown
+  pipe.process(mk(0.1, 100, 1, 1, true), st);  // blue -> malicious -> blacklist
+  pipe.process(mk(0.2, 100, 1, 1, true), st);  // red
+  EXPECT_EQ(st.path(Path::kRed), 1u);
+  EXPECT_EQ(st.blacklist_hits, 1u);
+  EXPECT_EQ(pipe.blacklist().size(), 1u);
+  EXPECT_EQ(st.dropped, 2u);  // blue verdict + red
+}
+
+TEST_F(PipelineTest, CollisionTakesOrangePath) {
+  PipelineConfig cfg;
+  cfg.flow_slots = 1;  // force collisions with 3 distinct flows
+  cfg.packet_threshold_n = 100;
+  Pipeline pipe = make(cfg);
+  SimStats st;
+  pipe.process(mk(0.0, 100, 1, 1), st);
+  pipe.process(mk(0.1, 100, 2, 2), st);
+  pipe.process(mk(0.2, 100, 3, 3), st);  // both ways occupied
+  EXPECT_GE(st.path(Path::kOrange), 1u);
+  EXPECT_GE(st.collisions, 1u);
+}
+
+TEST_F(PipelineTest, MissingFlTablesThrows) {
+  DeployedModel dm;
+  dm.fl_quantizer = &quant_;
+  EXPECT_THROW(Pipeline(PipelineConfig{}, dm), std::invalid_argument);
+}
+
+TEST_F(PipelineTest, PerPacketRecordsAligned) {
+  PipelineConfig cfg;
+  Pipeline pipe = make(cfg);
+  traffic::Trace t;
+  for (int i = 0; i < 50; ++i) t.packets.push_back(mk(0.01 * i, 100, 1, 1, i % 2 == 0));
+  const auto st = pipe.run(t);
+  EXPECT_EQ(st.packets, 50u);
+  EXPECT_EQ(st.pred.size(), 50u);
+  EXPECT_EQ(st.truth.size(), 50u);
+}
+
+}  // namespace
+}  // namespace iguard::switchsim

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "trafficgen/adversarial.hpp"
+#include "trafficgen/attacks.hpp"
+#include "trafficgen/benign.hpp"
+
+namespace iguard::traffic {
+namespace {
+
+TEST(Bihash, DirectionInvariant) {
+  const FiveTuple a{0x0A000001, 0x0A000002, 1234, 80, kProtoTcp};
+  EXPECT_EQ(bihash(a), bihash(a.reversed()));
+  EXPECT_EQ(bihash(a, 99), bihash(a.reversed(), 99));
+}
+
+TEST(Bihash, SeedAndTupleSensitive) {
+  const FiveTuple a{0x0A000001, 0x0A000002, 1234, 80, kProtoTcp};
+  FiveTuple b = a;
+  b.dst_port = 81;
+  EXPECT_NE(bihash(a), bihash(b));
+  EXPECT_NE(bihash(a, 1), bihash(a, 2));
+}
+
+TEST(Dirhash, DirectionSensitive) {
+  const FiveTuple a{0x0A000001, 0x0A000002, 1234, 80, kProtoTcp};
+  EXPECT_NE(dirhash(a), dirhash(a.reversed()));
+}
+
+TEST(Trace, MergeSortsAndRenumbersFlows) {
+  Trace t1, t2;
+  auto pkt = [](double ts, std::uint32_t id) {
+    Packet p;
+    p.ts = ts;
+    p.flow_id = id;
+    return p;
+  };
+  t1.packets.push_back(pkt(2.0, 0));
+  t1.packets.push_back(pkt(4.0, 1));
+  t2.packets.push_back(pkt(1.0, 0));
+  t2.packets.push_back(pkt(3.0, 1));
+  std::vector<Trace> parts{t1, t2};
+  Trace merged = merge_traces(parts);
+  ASSERT_EQ(merged.size(), 4u);
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LE(merged.packets[i - 1].ts, merged.packets[i].ts);
+  }
+  std::set<std::uint32_t> ids;
+  for (const auto& p : merged.packets) ids.insert(p.flow_id);
+  EXPECT_EQ(ids.size(), 4u);  // flow ids stay distinct across sources
+}
+
+TEST(FlowSpec, EmitRespectsBudgetAndClamp) {
+  ml::Rng rng(1);
+  FlowSpec s;
+  s.packets = 50;
+  s.size_mu = 5000.0;  // far above the clamp
+  s.size_sigma = 10.0;
+  s.ipd_mean = 0.01;
+  s.flow_id = 7;
+  const Trace t = emit_packets(std::span(&s, 1), rng);
+  EXPECT_EQ(t.size(), 50u);
+  for (const auto& p : t.packets) {
+    EXPECT_LE(p.length, 1500);
+    EXPECT_GE(p.length, 40);
+    EXPECT_EQ(p.flow_id, 7u);
+  }
+}
+
+TEST(FlowSpec, MeanIpdApproximatelyPreserved) {
+  ml::Rng rng(2);
+  FlowSpec s;
+  s.packets = 5000;
+  s.ipd_mean = 0.01;
+  s.ipd_jitter_sigma = 0.5;
+  const Trace t = emit_packets(std::span(&s, 1), rng);
+  const double mean_gap = t.duration() / static_cast<double>(t.size() - 1);
+  EXPECT_NEAR(mean_gap, 0.01, 0.002);  // unit-mean lognormal jitter
+}
+
+TEST(Benign, ManifoldFiniteForExtendedActivity) {
+  // Regression: a > 1 (the rare backup class) must not produce NaN
+  // (pow of a negative base with a fractional exponent).
+  for (double a : {0.0, 0.5, 1.0, 1.1, 1.25, 2.0}) {
+    const auto p = benign_manifold(a);
+    EXPECT_TRUE(std::isfinite(p.size_mu)) << a;
+    EXPECT_TRUE(std::isfinite(p.ipd_mean)) << a;
+    EXPECT_TRUE(std::isfinite(p.packets)) << a;
+    EXPECT_GE(p.ipd_mean, 0.002);
+    EXPECT_LE(p.size_mu, 1460.0);
+  }
+}
+
+TEST(Benign, ManifoldIsMonotone) {
+  const auto slow = benign_manifold(0.1);
+  const auto fast = benign_manifold(0.9);
+  EXPECT_LT(slow.size_mu, fast.size_mu);
+  EXPECT_GT(slow.ipd_mean, fast.ipd_mean);
+  EXPECT_LT(slow.packets, fast.packets);
+}
+
+TEST(Benign, GeneratesRequestedFlowsAllBenign) {
+  ml::Rng rng(3);
+  BenignConfig cfg;
+  cfg.flows = 200;
+  const auto specs = benign_flows(cfg, rng);
+  EXPECT_EQ(specs.size(), 200u);
+  for (const auto& s : specs) {
+    EXPECT_FALSE(s.malicious);
+    EXPECT_GE(s.packets, 2u);
+  }
+}
+
+TEST(Attacks, AllFifteenGenerate) {
+  ml::Rng rng(4);
+  AttackConfig cfg;
+  cfg.flows = 20;
+  EXPECT_EQ(all_attacks().size(), 15u);
+  for (const auto atk : all_attacks()) {
+    const Trace t = attack_trace(atk, cfg, rng);
+    EXPECT_GT(t.size(), 0u) << attack_name(atk);
+    for (const auto& p : t.packets) EXPECT_TRUE(p.malicious);
+  }
+}
+
+TEST(Attacks, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto atk : all_attacks()) names.insert(attack_name(atk));
+  EXPECT_EQ(names.size(), 15u);
+}
+
+TEST(Attacks, RouterTransformSlowsAndDecrementsTtl) {
+  ml::Rng rng(5);
+  FlowSpec s;
+  s.ttl = 64;
+  s.ipd_mean = 1e-4;
+  s.ipd_jitter_sigma = 0.05;
+  s.packets = 100;
+  apply_router_transform(s, rng, 2e-3);
+  EXPECT_EQ(s.ttl, 63);
+  EXPECT_GE(s.ipd_mean, 2e-3);  // rate limit floor
+  EXPECT_LT(s.packets, 100u);   // upstream filtering
+}
+
+TEST(Adversarial, LowRateScalesIpd) {
+  ml::Rng rng(6);
+  AttackConfig cfg;
+  cfg.flows = 10;
+  auto specs = attack_flows(AttackType::kUdpDdos, cfg, rng);
+  const double before = specs[0].ipd_mean;
+  apply_low_rate(specs, 100.0);
+  EXPECT_NEAR(specs[0].ipd_mean, before * 100.0, 1e-12);
+}
+
+TEST(Adversarial, PoisonAddsFraction) {
+  ml::Rng rng(7);
+  BenignConfig bcfg;
+  bcfg.flows = 100;
+  const auto benign = benign_flows(bcfg, rng);
+  AttackConfig acfg;
+  const auto poisoned = poison_training_flows(benign, AttackType::kMirai, 0.1, acfg, rng);
+  EXPECT_EQ(poisoned.size(), 110u);
+  std::size_t mal = 0;
+  std::set<std::uint32_t> ids;
+  for (const auto& s : poisoned) {
+    mal += s.malicious ? 1 : 0;
+    ids.insert(s.flow_id);
+  }
+  EXPECT_EQ(mal, 10u);
+  EXPECT_EQ(ids.size(), poisoned.size());  // flow ids unique after poisoning
+}
+
+TEST(Adversarial, EvasionInsertsChaff) {
+  ml::Rng rng(8);
+  AttackConfig cfg;
+  cfg.flows = 5;
+  EvasionConfig ev;
+  ev.chaff_per_packet = 2;
+  const Trace padded = evasion_trace(AttackType::kTcpDdos, cfg, ev, rng);
+
+  ml::Rng rng2(8);
+  const Trace plain = attack_trace(AttackType::kTcpDdos, cfg, rng2);
+  // 1 real : 2 chaff -> 3x the packet count for identical specs.
+  EXPECT_EQ(padded.size(), plain.size() * 3);
+  for (const auto& p : padded.packets) EXPECT_TRUE(p.malicious);
+}
+
+TEST(Adversarial, EvasionRaisesMeanSize) {
+  // TCP DDoS packets are 40-60 B; chaff ~N(500, 280) raises the flow mean.
+  ml::Rng rng(9);
+  AttackConfig cfg;
+  cfg.flows = 10;
+  EvasionConfig ev;
+  const Trace padded = evasion_trace(AttackType::kTcpDdos, cfg, ev, rng);
+  double mean = 0.0;
+  for (const auto& p : padded.packets) mean += p.length;
+  mean /= static_cast<double>(padded.size());
+  EXPECT_GT(mean, 150.0);
+}
+
+}  // namespace
+}  // namespace iguard::traffic

@@ -1,0 +1,225 @@
+#include "core/whitelist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ae_ensemble.hpp"
+#include "core/guided_iforest.hpp"
+
+namespace iguard::core {
+namespace {
+
+// Small trained system shared across the suite: 3-D benign manifold.
+class WhitelistTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new ml::Rng(23);
+    train_ = new ml::Matrix(0, 3);
+    for (int i = 0; i < 1200; ++i) {
+      const double a = rng_->uniform();
+      const double row[3] = {a + rng_->normal(0, 0.05), 2.0 * a + rng_->normal(0, 0.05),
+                             1.0 - a + rng_->normal(0, 0.05)};
+      train_->push_row(row);
+    }
+    teacher_ = new AeEnsemble();
+    AeEnsembleConfig tcfg;
+    tcfg.ensemble_size = 2;
+    tcfg.base.encoder_hidden = {6, 2};
+    tcfg.base.epochs = 50;
+    teacher_->fit(*train_, tcfg, *rng_);
+
+    forest_ = new GuidedIsolationForest{GuidedForestConfig{.num_trees = 5}};
+    forest_->fit(*train_, *teacher_, *rng_);
+
+    quant_ = new rules::Quantizer(12);
+    quant_->fit(*train_);
+  }
+  static void TearDownTestSuite() {
+    delete quant_;
+    delete forest_;
+    delete teacher_;
+    delete train_;
+    delete rng_;
+  }
+
+  static ml::Rng* rng_;
+  static ml::Matrix* train_;
+  static AeEnsemble* teacher_;
+  static GuidedIsolationForest* forest_;
+  static rules::Quantizer* quant_;
+};
+ml::Rng* WhitelistTest::rng_ = nullptr;
+ml::Matrix* WhitelistTest::train_ = nullptr;
+AeEnsemble* WhitelistTest::teacher_ = nullptr;
+GuidedIsolationForest* WhitelistTest::forest_ = nullptr;
+rules::Quantizer* WhitelistTest::quant_ = nullptr;
+
+TEST_F(WhitelistTest, QuantizedTreeAgreesWithFloatVote) {
+  // The quantised guided tree's payload must match the float tree's vote on
+  // (almost) every probe; disagreement can only come from quantisation.
+  const auto& tree = forest_->trees()[0];
+  const QuantizedTree qt = quantize_tree(tree, *quant_);
+  ml::Rng probe(5);
+  std::size_t agree = 0, n = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> x(3);
+    for (auto& v : x) v = probe.uniform(-0.5, 2.5);
+    const auto key = quant_->quantize(x);
+    // Compare on the *dequantised* point so both sides see the same input.
+    std::vector<double> xq(3);
+    for (std::size_t j = 0; j < 3; ++j) xq[j] = quant_->dequantize(j, key[j]);
+    const int qlabel = qt.payload_at(key) > 0.5 ? 1 : 0;
+    agree += qlabel == tree.vote(xq) ? 1 : 0;
+    ++n;
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(n), 0.97);
+}
+
+TEST_F(WhitelistTest, PerTreeCompileMatchesForestVote) {
+  const VoteWhitelist wl = compile_per_tree(*forest_, *quant_);
+  EXPECT_EQ(wl.tables.size(), forest_->trees().size());
+  ml::Rng probe(7);
+  std::size_t agree = 0, n = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> x(3);
+    for (auto& v : x) v = probe.uniform(-0.5, 2.5);
+    const auto key = quant_->quantize(x);
+    std::vector<double> xq(3);
+    for (std::size_t j = 0; j < 3; ++j) xq[j] = quant_->dequantize(j, key[j]);
+    agree += wl.classify(key) == forest_->predict(xq) ? 1 : 0;
+    ++n;
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(n), 0.97);
+}
+
+TEST_F(WhitelistTest, VoteFractionMatchesTableVotes) {
+  const VoteWhitelist wl = compile_per_tree(*forest_, *quant_);
+  const auto key = quant_->quantize(train_->row(0));
+  const double frac = wl.malicious_vote_fraction(key);
+  EXPECT_GE(frac, 0.0);
+  EXPECT_LE(frac, 1.0);
+  EXPECT_EQ(wl.classify(key), 2.0 * frac > 1.0 ? 1 : 0);
+}
+
+TEST_F(WhitelistTest, TrainingPointsMostlyWhitelisted) {
+  const VoteWhitelist wl = compile_per_tree(*forest_, *quant_);
+  std::size_t benign = 0;
+  for (std::size_t i = 0; i < train_->rows(); ++i) {
+    benign += wl.classify(quant_->quantize(train_->row(i))) == 0 ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(benign) / static_cast<double>(train_->rows()), 0.9);
+}
+
+TEST_F(WhitelistTest, FarOffSupportIsNeverWhitelisted) {
+  const VoteWhitelist wl = compile_per_tree(*forest_, *quant_);
+  const std::vector<double> far = {100.0, -100.0, 100.0};
+  EXPECT_EQ(wl.classify(quant_->quantize(far)), 1);
+}
+
+TEST_F(WhitelistTest, ClipRestrictsRules) {
+  WhitelistConfig cfg;
+  cfg.clip = support_clip(*train_, *quant_);
+  const VoteWhitelist wl = compile_per_tree(*forest_, *quant_, cfg);
+  for (const auto& t : wl.tables) {
+    for (const auto& r : t.rules()) {
+      for (std::size_t j = 0; j < r.fields.size(); ++j) {
+        EXPECT_GE(r.fields[j].lo, cfg.clip[j].lo);
+        EXPECT_LE(r.fields[j].hi, cfg.clip[j].hi);
+      }
+    }
+  }
+}
+
+TEST_F(WhitelistTest, UntrimmedSupportClipCoversAllTrainingPoints) {
+  const auto clip = support_clip(*train_, *quant_, 0.0);
+  for (std::size_t i = 0; i < train_->rows(); ++i) {
+    const auto key = quant_->quantize(train_->row(i));
+    for (std::size_t j = 0; j < key.size(); ++j) {
+      EXPECT_GE(key[j], clip[j].lo);
+      EXPECT_LE(key[j], clip[j].hi);
+    }
+  }
+}
+
+TEST_F(WhitelistTest, TrimmedSupportClipExcludesTails) {
+  // Robust support (poison defence): a trimmed clip is strictly inside the
+  // untrimmed one and excludes roughly the trimmed tail mass.
+  const auto full = support_clip(*train_, *quant_, 0.0);
+  const auto robust = support_clip(*train_, *quant_, 0.05);
+  std::size_t tighter_sides = 0;
+  for (std::size_t j = 0; j < full.size(); ++j) {
+    EXPECT_GE(robust[j].lo, full[j].lo);
+    EXPECT_LE(robust[j].hi, full[j].hi);
+    tighter_sides += (robust[j].lo > full[j].lo ? 1 : 0) + (robust[j].hi < full[j].hi ? 1 : 0);
+  }
+  EXPECT_GT(tighter_sides, 0u);
+  std::size_t outside = 0;
+  for (std::size_t i = 0; i < train_->rows(); ++i) {
+    const auto key = quant_->quantize(train_->row(i));
+    for (std::size_t j = 0; j < key.size(); ++j) {
+      if (key[j] < robust[j].lo || key[j] > robust[j].hi) {
+        ++outside;
+        break;
+      }
+    }
+  }
+  // Union over 3 dims of ~10% tail mass each: somewhere in (5%, 35%).
+  const double frac = static_cast<double>(outside) / static_cast<double>(train_->rows());
+  EXPECT_GT(frac, 0.02);
+  EXPECT_LT(frac, 0.5);
+}
+
+TEST_F(WhitelistTest, PathThresholdFromScoreInverse) {
+  // score = 2^(-E/c) and E = -c log2(score) must be mutual inverses.
+  const std::size_t psi = 256;
+  const double c = ml::average_path_length(psi);
+  for (double s : {0.4, 0.5, 0.6, 0.7}) {
+    const double e = path_threshold_from_score(s, psi);
+    EXPECT_NEAR(std::pow(2.0, -e / c), s, 1e-9);
+  }
+}
+
+TEST_F(WhitelistTest, BaselineCompileMatchesLeafThresholdVote) {
+  ml::IsolationForest iforest({.num_trees = 5, .subsample = 64, .contamination = 0.1});
+  ml::Rng frng(3);
+  iforest.fit(*train_, frng);
+  const VoteWhitelist wl = compile_per_tree(iforest, *quant_);
+  const double e_thr =
+      path_threshold_from_score(iforest.threshold(), iforest.effective_subsample());
+
+  ml::Rng probe(9);
+  std::size_t agree = 0, n = 0;
+  for (int i = 0; i < 400; ++i) {
+    std::vector<double> x(3);
+    for (auto& v : x) v = probe.uniform(-0.5, 2.5);
+    const auto key = quant_->quantize(x);
+    std::vector<double> xq(3);
+    for (std::size_t j = 0; j < 3; ++j) xq[j] = quant_->dequantize(j, key[j]);
+    // Reference: per-tree leaf-threshold majority vote in float space.
+    std::size_t mal = 0;
+    for (const auto& tree : iforest.trees()) {
+      mal += tree.path_length(xq) < e_thr ? 1 : 0;
+    }
+    const int ref = 2 * mal > iforest.trees().size() ? 1 : 0;
+    agree += wl.classify(key) == ref ? 1 : 0;
+    ++n;
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(n), 0.97);
+}
+
+TEST_F(WhitelistTest, SampleLabellerAgreesWithForestOnRegions) {
+  // The paper's random-interior-point labelling applied to whitelist rules:
+  // every interior point of a benign rule must be classified benign by the
+  // compiled rules (they are, by construction, subsets of benign boxes).
+  const VoteWhitelist wl = compile_per_tree(*forest_, *quant_);
+  ml::Rng probe(11);
+  for (const auto& table : wl.tables) {
+    for (std::size_t ri = 0; ri < std::min<std::size_t>(table.size(), 5); ++ri) {
+      const auto& r = table.rules()[ri];
+      const int label = sample_label_majority(*forest_, *quant_, r, probe);
+      EXPECT_TRUE(label == 0 || label == 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iguard::core
