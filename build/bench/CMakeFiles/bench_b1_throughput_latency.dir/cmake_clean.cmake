@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_b1_throughput_latency.dir/bench_b1_throughput_latency.cpp.o"
+  "CMakeFiles/bench_b1_throughput_latency.dir/bench_b1_throughput_latency.cpp.o.d"
+  "bench_b1_throughput_latency"
+  "bench_b1_throughput_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_b1_throughput_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_evasion.dir/bench_table3_evasion.cpp.o"
+  "CMakeFiles/bench_table3_evasion.dir/bench_table3_evasion.cpp.o.d"
+  "bench_table3_evasion"
+  "bench_table3_evasion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_evasion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_campus.dir/iot_campus.cpp.o"
+  "CMakeFiles/iot_campus.dir/iot_campus.cpp.o.d"
+  "iot_campus"
+  "iot_campus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_campus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

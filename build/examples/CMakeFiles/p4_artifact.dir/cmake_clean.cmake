@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4_artifact.dir/p4_artifact.cpp.o"
+  "CMakeFiles/p4_artifact.dir/p4_artifact.cpp.o.d"
+  "p4_artifact"
+  "p4_artifact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4_artifact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

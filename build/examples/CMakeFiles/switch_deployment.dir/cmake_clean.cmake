@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_deployment.dir/switch_deployment.cpp.o"
+  "CMakeFiles/switch_deployment.dir/switch_deployment.cpp.o.d"
+  "switch_deployment"
+  "switch_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

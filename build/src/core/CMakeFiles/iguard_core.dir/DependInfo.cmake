@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ae_ensemble.cpp" "src/core/CMakeFiles/iguard_core.dir/ae_ensemble.cpp.o" "gcc" "src/core/CMakeFiles/iguard_core.dir/ae_ensemble.cpp.o.d"
+  "/root/repo/src/core/guided_iforest.cpp" "src/core/CMakeFiles/iguard_core.dir/guided_iforest.cpp.o" "gcc" "src/core/CMakeFiles/iguard_core.dir/guided_iforest.cpp.o.d"
+  "/root/repo/src/core/iguard.cpp" "src/core/CMakeFiles/iguard_core.dir/iguard.cpp.o" "gcc" "src/core/CMakeFiles/iguard_core.dir/iguard.cpp.o.d"
+  "/root/repo/src/core/online_update.cpp" "src/core/CMakeFiles/iguard_core.dir/online_update.cpp.o" "gcc" "src/core/CMakeFiles/iguard_core.dir/online_update.cpp.o.d"
+  "/root/repo/src/core/pl_model.cpp" "src/core/CMakeFiles/iguard_core.dir/pl_model.cpp.o" "gcc" "src/core/CMakeFiles/iguard_core.dir/pl_model.cpp.o.d"
+  "/root/repo/src/core/whitelist.cpp" "src/core/CMakeFiles/iguard_core.dir/whitelist.cpp.o" "gcc" "src/core/CMakeFiles/iguard_core.dir/whitelist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/iguard_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/iguard_rules.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

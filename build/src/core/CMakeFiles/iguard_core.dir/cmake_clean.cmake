@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iguard_core.dir/ae_ensemble.cpp.o"
+  "CMakeFiles/iguard_core.dir/ae_ensemble.cpp.o.d"
+  "CMakeFiles/iguard_core.dir/guided_iforest.cpp.o"
+  "CMakeFiles/iguard_core.dir/guided_iforest.cpp.o.d"
+  "CMakeFiles/iguard_core.dir/iguard.cpp.o"
+  "CMakeFiles/iguard_core.dir/iguard.cpp.o.d"
+  "CMakeFiles/iguard_core.dir/online_update.cpp.o"
+  "CMakeFiles/iguard_core.dir/online_update.cpp.o.d"
+  "CMakeFiles/iguard_core.dir/pl_model.cpp.o"
+  "CMakeFiles/iguard_core.dir/pl_model.cpp.o.d"
+  "CMakeFiles/iguard_core.dir/whitelist.cpp.o"
+  "CMakeFiles/iguard_core.dir/whitelist.cpp.o.d"
+  "libiguard_core.a"
+  "libiguard_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iguard_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

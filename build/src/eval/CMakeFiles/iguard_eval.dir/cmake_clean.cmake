@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iguard_eval.dir/metrics.cpp.o"
+  "CMakeFiles/iguard_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/iguard_eval.dir/protocol.cpp.o"
+  "CMakeFiles/iguard_eval.dir/protocol.cpp.o.d"
+  "CMakeFiles/iguard_eval.dir/report.cpp.o"
+  "CMakeFiles/iguard_eval.dir/report.cpp.o.d"
+  "libiguard_eval.a"
+  "libiguard_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iguard_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

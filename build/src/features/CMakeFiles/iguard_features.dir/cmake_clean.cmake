@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iguard_features.dir/flow_features.cpp.o"
+  "CMakeFiles/iguard_features.dir/flow_features.cpp.o.d"
+  "libiguard_features.a"
+  "libiguard_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iguard_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiguard_features.a"
+)

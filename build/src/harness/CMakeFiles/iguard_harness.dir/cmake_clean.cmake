@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iguard_harness.dir/cpu_lab.cpp.o"
+  "CMakeFiles/iguard_harness.dir/cpu_lab.cpp.o.d"
+  "CMakeFiles/iguard_harness.dir/testbed_lab.cpp.o"
+  "CMakeFiles/iguard_harness.dir/testbed_lab.cpp.o.d"
+  "libiguard_harness.a"
+  "libiguard_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iguard_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

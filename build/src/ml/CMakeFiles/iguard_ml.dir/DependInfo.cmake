@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/autoencoder.cpp" "src/ml/CMakeFiles/iguard_ml.dir/autoencoder.cpp.o" "gcc" "src/ml/CMakeFiles/iguard_ml.dir/autoencoder.cpp.o.d"
+  "/root/repo/src/ml/iforest.cpp" "src/ml/CMakeFiles/iguard_ml.dir/iforest.cpp.o" "gcc" "src/ml/CMakeFiles/iguard_ml.dir/iforest.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/iguard_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/iguard_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/nn.cpp" "src/ml/CMakeFiles/iguard_ml.dir/nn.cpp.o" "gcc" "src/ml/CMakeFiles/iguard_ml.dir/nn.cpp.o.d"
+  "/root/repo/src/ml/pca.cpp" "src/ml/CMakeFiles/iguard_ml.dir/pca.cpp.o" "gcc" "src/ml/CMakeFiles/iguard_ml.dir/pca.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/iguard_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/iguard_ml.dir/scaler.cpp.o.d"
+  "/root/repo/src/ml/vae.cpp" "src/ml/CMakeFiles/iguard_ml.dir/vae.cpp.o" "gcc" "src/ml/CMakeFiles/iguard_ml.dir/vae.cpp.o.d"
+  "/root/repo/src/ml/xmeans.cpp" "src/ml/CMakeFiles/iguard_ml.dir/xmeans.cpp.o" "gcc" "src/ml/CMakeFiles/iguard_ml.dir/xmeans.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iguard_ml.dir/autoencoder.cpp.o"
+  "CMakeFiles/iguard_ml.dir/autoencoder.cpp.o.d"
+  "CMakeFiles/iguard_ml.dir/iforest.cpp.o"
+  "CMakeFiles/iguard_ml.dir/iforest.cpp.o.d"
+  "CMakeFiles/iguard_ml.dir/knn.cpp.o"
+  "CMakeFiles/iguard_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/iguard_ml.dir/nn.cpp.o"
+  "CMakeFiles/iguard_ml.dir/nn.cpp.o.d"
+  "CMakeFiles/iguard_ml.dir/pca.cpp.o"
+  "CMakeFiles/iguard_ml.dir/pca.cpp.o.d"
+  "CMakeFiles/iguard_ml.dir/scaler.cpp.o"
+  "CMakeFiles/iguard_ml.dir/scaler.cpp.o.d"
+  "CMakeFiles/iguard_ml.dir/vae.cpp.o"
+  "CMakeFiles/iguard_ml.dir/vae.cpp.o.d"
+  "CMakeFiles/iguard_ml.dir/xmeans.cpp.o"
+  "CMakeFiles/iguard_ml.dir/xmeans.cpp.o.d"
+  "libiguard_ml.a"
+  "libiguard_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iguard_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

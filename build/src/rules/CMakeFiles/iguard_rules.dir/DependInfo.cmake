@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/quantize.cpp" "src/rules/CMakeFiles/iguard_rules.dir/quantize.cpp.o" "gcc" "src/rules/CMakeFiles/iguard_rules.dir/quantize.cpp.o.d"
+  "/root/repo/src/rules/range_rule.cpp" "src/rules/CMakeFiles/iguard_rules.dir/range_rule.cpp.o" "gcc" "src/rules/CMakeFiles/iguard_rules.dir/range_rule.cpp.o.d"
+  "/root/repo/src/rules/rule_table.cpp" "src/rules/CMakeFiles/iguard_rules.dir/rule_table.cpp.o" "gcc" "src/rules/CMakeFiles/iguard_rules.dir/rule_table.cpp.o.d"
+  "/root/repo/src/rules/ternary.cpp" "src/rules/CMakeFiles/iguard_rules.dir/ternary.cpp.o" "gcc" "src/rules/CMakeFiles/iguard_rules.dir/ternary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/iguard_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

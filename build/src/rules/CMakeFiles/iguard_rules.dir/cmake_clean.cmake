@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iguard_rules.dir/quantize.cpp.o"
+  "CMakeFiles/iguard_rules.dir/quantize.cpp.o.d"
+  "CMakeFiles/iguard_rules.dir/range_rule.cpp.o"
+  "CMakeFiles/iguard_rules.dir/range_rule.cpp.o.d"
+  "CMakeFiles/iguard_rules.dir/rule_table.cpp.o"
+  "CMakeFiles/iguard_rules.dir/rule_table.cpp.o.d"
+  "CMakeFiles/iguard_rules.dir/ternary.cpp.o"
+  "CMakeFiles/iguard_rules.dir/ternary.cpp.o.d"
+  "libiguard_rules.a"
+  "libiguard_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iguard_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

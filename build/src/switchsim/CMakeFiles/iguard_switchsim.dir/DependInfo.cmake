@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switchsim/flow_state.cpp" "src/switchsim/CMakeFiles/iguard_switchsim.dir/flow_state.cpp.o" "gcc" "src/switchsim/CMakeFiles/iguard_switchsim.dir/flow_state.cpp.o.d"
+  "/root/repo/src/switchsim/p4_emit.cpp" "src/switchsim/CMakeFiles/iguard_switchsim.dir/p4_emit.cpp.o" "gcc" "src/switchsim/CMakeFiles/iguard_switchsim.dir/p4_emit.cpp.o.d"
+  "/root/repo/src/switchsim/pipeline.cpp" "src/switchsim/CMakeFiles/iguard_switchsim.dir/pipeline.cpp.o" "gcc" "src/switchsim/CMakeFiles/iguard_switchsim.dir/pipeline.cpp.o.d"
+  "/root/repo/src/switchsim/registers.cpp" "src/switchsim/CMakeFiles/iguard_switchsim.dir/registers.cpp.o" "gcc" "src/switchsim/CMakeFiles/iguard_switchsim.dir/registers.cpp.o.d"
+  "/root/repo/src/switchsim/resources.cpp" "src/switchsim/CMakeFiles/iguard_switchsim.dir/resources.cpp.o" "gcc" "src/switchsim/CMakeFiles/iguard_switchsim.dir/resources.cpp.o.d"
+  "/root/repo/src/switchsim/tables.cpp" "src/switchsim/CMakeFiles/iguard_switchsim.dir/tables.cpp.o" "gcc" "src/switchsim/CMakeFiles/iguard_switchsim.dir/tables.cpp.o.d"
+  "/root/repo/src/switchsim/timing.cpp" "src/switchsim/CMakeFiles/iguard_switchsim.dir/timing.cpp.o" "gcc" "src/switchsim/CMakeFiles/iguard_switchsim.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/iguard_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/iguard_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/iguard_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/trafficgen/CMakeFiles/iguard_trafficgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/iguard_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iguard_switchsim.dir/flow_state.cpp.o"
+  "CMakeFiles/iguard_switchsim.dir/flow_state.cpp.o.d"
+  "CMakeFiles/iguard_switchsim.dir/p4_emit.cpp.o"
+  "CMakeFiles/iguard_switchsim.dir/p4_emit.cpp.o.d"
+  "CMakeFiles/iguard_switchsim.dir/pipeline.cpp.o"
+  "CMakeFiles/iguard_switchsim.dir/pipeline.cpp.o.d"
+  "CMakeFiles/iguard_switchsim.dir/registers.cpp.o"
+  "CMakeFiles/iguard_switchsim.dir/registers.cpp.o.d"
+  "CMakeFiles/iguard_switchsim.dir/resources.cpp.o"
+  "CMakeFiles/iguard_switchsim.dir/resources.cpp.o.d"
+  "CMakeFiles/iguard_switchsim.dir/tables.cpp.o"
+  "CMakeFiles/iguard_switchsim.dir/tables.cpp.o.d"
+  "CMakeFiles/iguard_switchsim.dir/timing.cpp.o"
+  "CMakeFiles/iguard_switchsim.dir/timing.cpp.o.d"
+  "libiguard_switchsim.a"
+  "libiguard_switchsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iguard_switchsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

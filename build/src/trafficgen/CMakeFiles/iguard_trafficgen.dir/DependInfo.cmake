@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trafficgen/adversarial.cpp" "src/trafficgen/CMakeFiles/iguard_trafficgen.dir/adversarial.cpp.o" "gcc" "src/trafficgen/CMakeFiles/iguard_trafficgen.dir/adversarial.cpp.o.d"
+  "/root/repo/src/trafficgen/attacks.cpp" "src/trafficgen/CMakeFiles/iguard_trafficgen.dir/attacks.cpp.o" "gcc" "src/trafficgen/CMakeFiles/iguard_trafficgen.dir/attacks.cpp.o.d"
+  "/root/repo/src/trafficgen/benign.cpp" "src/trafficgen/CMakeFiles/iguard_trafficgen.dir/benign.cpp.o" "gcc" "src/trafficgen/CMakeFiles/iguard_trafficgen.dir/benign.cpp.o.d"
+  "/root/repo/src/trafficgen/flowspec.cpp" "src/trafficgen/CMakeFiles/iguard_trafficgen.dir/flowspec.cpp.o" "gcc" "src/trafficgen/CMakeFiles/iguard_trafficgen.dir/flowspec.cpp.o.d"
+  "/root/repo/src/trafficgen/packet.cpp" "src/trafficgen/CMakeFiles/iguard_trafficgen.dir/packet.cpp.o" "gcc" "src/trafficgen/CMakeFiles/iguard_trafficgen.dir/packet.cpp.o.d"
+  "/root/repo/src/trafficgen/pcap_io.cpp" "src/trafficgen/CMakeFiles/iguard_trafficgen.dir/pcap_io.cpp.o" "gcc" "src/trafficgen/CMakeFiles/iguard_trafficgen.dir/pcap_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/iguard_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iguard_trafficgen.dir/adversarial.cpp.o"
+  "CMakeFiles/iguard_trafficgen.dir/adversarial.cpp.o.d"
+  "CMakeFiles/iguard_trafficgen.dir/attacks.cpp.o"
+  "CMakeFiles/iguard_trafficgen.dir/attacks.cpp.o.d"
+  "CMakeFiles/iguard_trafficgen.dir/benign.cpp.o"
+  "CMakeFiles/iguard_trafficgen.dir/benign.cpp.o.d"
+  "CMakeFiles/iguard_trafficgen.dir/flowspec.cpp.o"
+  "CMakeFiles/iguard_trafficgen.dir/flowspec.cpp.o.d"
+  "CMakeFiles/iguard_trafficgen.dir/packet.cpp.o"
+  "CMakeFiles/iguard_trafficgen.dir/packet.cpp.o.d"
+  "CMakeFiles/iguard_trafficgen.dir/pcap_io.cpp.o"
+  "CMakeFiles/iguard_trafficgen.dir/pcap_io.cpp.o.d"
+  "libiguard_trafficgen.a"
+  "libiguard_trafficgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iguard_trafficgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_autoencoder.cpp" "tests/CMakeFiles/iguard_tests.dir/test_autoencoder.cpp.o" "gcc" "tests/CMakeFiles/iguard_tests.dir/test_autoencoder.cpp.o.d"
+  "/root/repo/tests/test_detectors.cpp" "tests/CMakeFiles/iguard_tests.dir/test_detectors.cpp.o" "gcc" "tests/CMakeFiles/iguard_tests.dir/test_detectors.cpp.o.d"
+  "/root/repo/tests/test_features.cpp" "tests/CMakeFiles/iguard_tests.dir/test_features.cpp.o" "gcc" "tests/CMakeFiles/iguard_tests.dir/test_features.cpp.o.d"
+  "/root/repo/tests/test_guided_iforest.cpp" "tests/CMakeFiles/iguard_tests.dir/test_guided_iforest.cpp.o" "gcc" "tests/CMakeFiles/iguard_tests.dir/test_guided_iforest.cpp.o.d"
+  "/root/repo/tests/test_iforest.cpp" "tests/CMakeFiles/iguard_tests.dir/test_iforest.cpp.o" "gcc" "tests/CMakeFiles/iguard_tests.dir/test_iforest.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/iguard_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/iguard_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/iguard_tests.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/iguard_tests.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/iguard_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/iguard_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_nn.cpp" "tests/CMakeFiles/iguard_tests.dir/test_nn.cpp.o" "gcc" "tests/CMakeFiles/iguard_tests.dir/test_nn.cpp.o.d"
+  "/root/repo/tests/test_p4_emit.cpp" "tests/CMakeFiles/iguard_tests.dir/test_p4_emit.cpp.o" "gcc" "tests/CMakeFiles/iguard_tests.dir/test_p4_emit.cpp.o.d"
+  "/root/repo/tests/test_pcap_online.cpp" "tests/CMakeFiles/iguard_tests.dir/test_pcap_online.cpp.o" "gcc" "tests/CMakeFiles/iguard_tests.dir/test_pcap_online.cpp.o.d"
+  "/root/repo/tests/test_protocol.cpp" "tests/CMakeFiles/iguard_tests.dir/test_protocol.cpp.o" "gcc" "tests/CMakeFiles/iguard_tests.dir/test_protocol.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/iguard_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/iguard_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_rules.cpp" "tests/CMakeFiles/iguard_tests.dir/test_rules.cpp.o" "gcc" "tests/CMakeFiles/iguard_tests.dir/test_rules.cpp.o.d"
+  "/root/repo/tests/test_scaler.cpp" "tests/CMakeFiles/iguard_tests.dir/test_scaler.cpp.o" "gcc" "tests/CMakeFiles/iguard_tests.dir/test_scaler.cpp.o.d"
+  "/root/repo/tests/test_switchsim.cpp" "tests/CMakeFiles/iguard_tests.dir/test_switchsim.cpp.o" "gcc" "tests/CMakeFiles/iguard_tests.dir/test_switchsim.cpp.o.d"
+  "/root/repo/tests/test_trafficgen.cpp" "tests/CMakeFiles/iguard_tests.dir/test_trafficgen.cpp.o" "gcc" "tests/CMakeFiles/iguard_tests.dir/test_trafficgen.cpp.o.d"
+  "/root/repo/tests/test_whitelist.cpp" "tests/CMakeFiles/iguard_tests.dir/test_whitelist.cpp.o" "gcc" "tests/CMakeFiles/iguard_tests.dir/test_whitelist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/iguard_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/iguard_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/iguard_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/iguard_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/iguard_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/iguard_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/trafficgen/CMakeFiles/iguard_trafficgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/iguard_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
