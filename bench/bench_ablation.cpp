@@ -50,6 +50,8 @@ eval::DetectionMetrics eval_forest(const core::GuidedIsolationForest& f, bool us
 
 int main() {
   harness::CpuLabConfig cfg;
+  cfg.teacher.num_threads = 0;  // 0 = hardware concurrency
+  cfg.forest.num_threads = 0;
   harness::CpuLab lab{cfg};
 
   std::vector<Variant> variants;

@@ -65,6 +65,8 @@ const harness::TestbedLab& lab() {
     cfg.benign_test_flows = 300;
     cfg.attack_flows = 80;
     cfg.scale_grid = {1.1};
+    cfg.teacher.num_threads = 0;  // 0 = hardware concurrency
+    cfg.forest.num_threads = 0;
     return cfg;
   }()};
   return instance;
@@ -75,6 +77,8 @@ struct Deployed {
   Deployed() {
     core::IGuardConfig gcfg;
     gcfg.teacher.base = ml::testbed_autoencoder_config();
+    gcfg.teacher.num_threads = 0;
+    gcfg.forest.num_threads = 0;
     guard = std::make_unique<core::IGuard>(gcfg);
     ml::Rng rng(7);
     guard->fit(lab().train_fl(), ml::Matrix{}, rng);
@@ -132,6 +136,55 @@ void BM_TeacherReconstruction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TeacherReconstruction);
+
+bool same_forest(const core::GuidedIsolationForest& a, const core::GuidedIsolationForest& b) {
+  if (a.trees().size() != b.trees().size()) return false;
+  for (std::size_t t = 0; t < a.trees().size(); ++t) {
+    const auto& na = a.trees()[t].nodes;
+    const auto& nb = b.trees()[t].nodes;
+    if (na.size() != nb.size()) return false;
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      if (na[i].feature != nb[i].feature || na[i].threshold != nb[i].threshold ||
+          na[i].left != nb[i].left || na[i].right != nb[i].right ||
+          na[i].label != nb[i].label || na[i].leaf_re != nb[i].leaf_re ||
+          na[i].box_lo != nb[i].box_lo || na[i].box_hi != nb[i].box_hi) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Forest fit throughput at a given thread count (arg 0; 0 = all cores).
+// Run Arg(1) vs Arg(0) to read the parallel speedup directly; the
+// "identical" counter asserts the parallel fit is bit-identical to the
+// sequential one under the same seed.
+void BM_GuidedForestFit(benchmark::State& state) {
+  const auto& g = *deployed().guard;
+  const ml::Matrix& train = lab().train_fl();
+  core::GuidedForestConfig fcfg;
+  fcfg.num_threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    core::GuidedIsolationForest forest(fcfg);
+    ml::Rng rng(7);
+    forest.fit(train, g.teacher(), rng);
+    benchmark::DoNotOptimize(forest.trees().size());
+  }
+  core::GuidedIsolationForest par(fcfg);
+  {
+    ml::Rng rng(7);
+    par.fit(train, g.teacher(), rng);
+  }
+  core::GuidedForestConfig scfg = fcfg;
+  scfg.num_threads = 1;
+  core::GuidedIsolationForest seq(scfg);
+  {
+    ml::Rng rng(7);
+    seq.fit(train, g.teacher(), rng);
+  }
+  state.counters["identical"] = same_forest(seq, par) ? 1.0 : 0.0;
+}
+BENCHMARK(BM_GuidedForestFit)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_PipelineProcess(benchmark::State& state) {
   const auto& g = *deployed().guard;

@@ -54,6 +54,8 @@ int main() {
   // --- poisoning (Mirai 2% / 10%) ------------------------------------------
   for (double frac : {0.02, 0.10}) {
     harness::TestbedLabConfig cfg;
+    cfg.teacher.num_threads = 0;
+    cfg.forest.num_threads = 0;
     cfg.poison_fraction = frac;
     cfg.poison_type = traffic::AttackType::kMirai;
     harness::TestbedLab lab{cfg};

@@ -82,6 +82,7 @@ int main() {
 
   core::AeEnsemble teacher;
   core::AeEnsembleConfig tcfg;
+  tcfg.num_threads = 0;  // 0 = hardware concurrency
   teacher.fit(train.x, tcfg, rng);
   std::vector<double> base_t(teacher.size());
   for (std::size_t u = 0; u < teacher.size(); ++u) {
@@ -91,12 +92,14 @@ int main() {
     base_t[u] = eval::best_f1_threshold(val_y, s);
   }
 
-  core::IGuard best{core::IGuardConfig{}};
+  core::IGuardConfig gcfg;
+  gcfg.forest.num_threads = 0;  // parallel guided growth + distillation
+  core::IGuard best{gcfg};
   double best_f1 = -1.0;
   for (double scale : {0.9, 1.1, 1.3, 1.5}) {
     for (std::size_t u = 0; u < teacher.size(); ++u)
       teacher.set_member_threshold(u, base_t[u] * scale);
-    core::IGuard cand{core::IGuardConfig{}};
+    core::IGuard cand{gcfg};
     ml::Rng crng(5);
     cand.fit_with_teacher(train.x, ml::Matrix{}, teacher, crng);
     std::vector<int> vp(val.x.rows());

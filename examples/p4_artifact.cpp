@@ -32,6 +32,8 @@ int main(int argc, char** argv) {
 
   core::IGuardConfig gcfg;
   gcfg.teacher.base = ml::testbed_autoencoder_config();
+  gcfg.teacher.num_threads = 0;  // 0 = hardware concurrency
+  gcfg.forest.num_threads = 0;
   core::IGuard guard(gcfg);
   guard.fit(fl.x, pl.x, rng);
 

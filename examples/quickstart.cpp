@@ -64,6 +64,7 @@ int main() {
   // threshold T_u on the validation split (the paper's "T" grid search).
   core::AeEnsembleConfig tcfg;
   tcfg.ensemble_size = 3;
+  tcfg.num_threads = 0;  // train members on all cores (bit-identical result)
   core::AeEnsemble teacher_ens;
   teacher_ens.fit(split.train_x, tcfg, rng);
   std::vector<double> base_t(teacher_ens.size());
@@ -78,6 +79,8 @@ int main() {
   // Grid-search the teacher threshold scale T on validation F1 of the final
   // distilled forest (the paper's (t, Psi, k, T) search, reduced to T here).
   core::IGuardConfig gcfg;
+  gcfg.teacher.num_threads = 0;  // 0 = hardware concurrency
+  gcfg.forest.num_threads = 0;
   core::IGuard guard(gcfg);
   double best_val = -1.0;
   double best_scale = 1.0;

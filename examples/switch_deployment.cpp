@@ -15,6 +15,8 @@ using namespace iguard;
 int main() {
   harness::TestbedLabConfig cfg;
   cfg.attack_flows = 150;
+  cfg.teacher.num_threads = 0;  // 0 = hardware concurrency
+  cfg.forest.num_threads = 0;
   harness::TestbedLab lab{cfg};
 
   const auto atk = traffic::AttackType::kMirai;
@@ -43,7 +45,7 @@ int main() {
   paths.add_row({"purple", "flow already classified, early decision",
                  std::to_string(st.path(switchsim::Path::kPurple))});
   paths.add_row({"green", "loopback mirror (label/flow-ID commit)",
-                 std::to_string(st.path(switchsim::Path::kGreen))});
+                 std::to_string(st.green_mirrors)});
   std::cout << "\n";
   paths.print(std::cout, "iGuard packet execution paths (Fig. 4)");
 

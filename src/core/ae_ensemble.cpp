@@ -1,8 +1,11 @@
 #include "core/ae_ensemble.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+
+#include "ml/parallel.hpp"
 
 namespace iguard::core {
 
@@ -10,18 +13,48 @@ void AeEnsemble::fit(const ml::Matrix& benign, const AeEnsembleConfig& cfg, ml::
   if (cfg.ensemble_size == 0) throw std::invalid_argument("AeEnsemble: r must be >= 1");
   aes_.clear();
   thresholds_.clear();
-  for (std::size_t u = 0; u < cfg.ensemble_size; ++u) {
+  // Fork all member RNGs sequentially first: the forks consume the parent
+  // stream in a fixed order, so training the members in parallel afterwards
+  // produces bit-identical ensembles at every thread count.
+  std::vector<ml::Rng> children;
+  children.reserve(cfg.ensemble_size);
+  for (std::size_t u = 0; u < cfg.ensemble_size; ++u) children.push_back(rng.fork());
+
+  aes_.resize(cfg.ensemble_size);
+  thresholds_.assign(cfg.ensemble_size, 0.0);
+  ml::ThreadPool pool(std::min(ml::resolve_threads(cfg.num_threads), cfg.ensemble_size));
+  pool.parallel_for(cfg.ensemble_size, [&](std::size_t u) {
     auto ae = std::make_unique<ml::Autoencoder>(cfg.base);
-    ml::Rng child = rng.fork();
-    ae->fit(benign, child);
-    thresholds_.push_back(ae->threshold() * cfg.threshold_scale);
-    aes_.push_back(std::move(ae));
-  }
+    ae->fit(benign, children[u]);
+    thresholds_[u] = ae->threshold() * cfg.threshold_scale;
+    aes_[u] = std::move(ae);
+  });
   weights_.assign(aes_.size(), 1.0 / static_cast<double>(aes_.size()));
 }
 
 double AeEnsemble::reconstruction_error(std::size_t u, std::span<const double> x) const {
   return aes_.at(u)->reconstruction_error(x);
+}
+
+ml::Matrix AeEnsemble::reconstruction_errors(const ml::Matrix& x,
+                                             std::size_t num_threads) const {
+  ml::Matrix out(x.rows(), aes_.size());
+  ml::ThreadPool pool(ml::resolve_threads(num_threads));
+  pool.parallel_for(x.rows(), [&](std::size_t i) {
+    auto row = out.row(i);
+    for (std::size_t u = 0; u < aes_.size(); ++u) {
+      row[u] = aes_[u]->reconstruction_error(x.row(i));
+    }
+  });
+  return out;
+}
+
+std::vector<int> AeEnsemble::predict_batch(const ml::Matrix& x,
+                                           std::size_t num_threads) const {
+  std::vector<int> out(x.rows(), 0);
+  ml::ThreadPool pool(ml::resolve_threads(num_threads));
+  pool.parallel_for(x.rows(), [&](std::size_t i) { out[i] = predict(x.row(i)); });
+  return out;
 }
 
 int AeEnsemble::predict(std::span<const double> x) const {

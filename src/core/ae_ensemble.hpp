@@ -20,6 +20,10 @@ struct AeEnsembleConfig {
   /// Global multiplier on each AE's calibrated threshold T_u (the paper's
   /// grid-searched "T" hyperparameter).
   double threshold_scale = 1.0;
+  /// Worker threads for member training and batch scoring (0 = hardware
+  /// concurrency). Member RNG forks are drawn sequentially before the
+  /// parallel section, so results are bit-identical at any thread count.
+  std::size_t num_threads = 1;
 };
 
 class AeEnsemble {
@@ -34,6 +38,15 @@ class AeEnsemble {
 
   /// RE_u(x): reconstruction RMSE of member u.
   double reconstruction_error(std::size_t u, std::span<const double> x) const;
+
+  /// Batched scoring: row i of the result holds {RE_0(x_i), ..., RE_{r-1}(x_i)}.
+  /// Rows are scored in parallel (num_threads = 0 → hardware concurrency);
+  /// the output is identical at every thread count.
+  ml::Matrix reconstruction_errors(const ml::Matrix& x, std::size_t num_threads = 1) const;
+
+  /// Batched ensemble predictions over every row of x (1 = malicious),
+  /// scored in parallel like reconstruction_errors().
+  std::vector<int> predict_batch(const ml::Matrix& x, std::size_t num_threads = 1) const;
   /// T_u (already scaled by threshold_scale).
   double member_threshold(std::size_t u) const { return thresholds_[u]; }
   double weight(std::size_t u) const { return weights_[u]; }

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+
+#include "ml/parallel.hpp"
 
 namespace iguard::core {
 
@@ -220,30 +223,71 @@ void GuidedIsolationForest::fit(const ml::Matrix& train, const AeEnsemble& teach
     }
   }
 
-  // --- Training: teacher-guided growth (§3.2.1) ---------------------------
+  // One root seed from the caller's stream; every randomised task below
+  // derives its own independent stream from (phase seed, task index). Tasks
+  // therefore depend only on their index and on immutable shared inputs —
+  // the fitted forest is bit-identical at every thread count.
+  const std::uint64_t root_seed = rng.engine()();
+  const std::uint64_t grow_seed = ml::mix64(root_seed ^ 0x67726f77ull);     // "grow"
+  const std::uint64_t distill_seed = ml::mix64(root_seed ^ 0x64697374ull);  // "dist"
+  ml::ThreadPool pool(ml::resolve_threads(cfg_.num_threads));
+
+  // --- Training: teacher-guided growth (§3.2.1), one task per tree --------
   trees_.assign(cfg_.num_trees, {});
-  BuildContext ctx{train, teacher, cfg_, rng, height_cap};
-  for (auto& tree : trees_) {
-    auto rows = rng.sample_without_replacement(train.rows(), psi);
-    build_node(ctx, tree.nodes, std::move(rows), 0);
-  }
+  pool.parallel_for(cfg_.num_trees, [&](std::size_t t) {
+    ml::Rng tree_rng = ml::task_rng(grow_seed, t);
+    auto rows = tree_rng.sample_without_replacement(train.rows(), psi);
+    BuildContext ctx{train, teacher, cfg_, tree_rng, height_cap};
+    build_node(ctx, trees_[t].nodes, std::move(rows), 0);
+  });
 
   // --- Knowledge distillation (§3.2.2) ------------------------------------
+  // Per-tree preparation (routing + split cells), one task per tree …
   const std::size_t r = teacher.size();
-  for (auto& tree : trees_) {
-    // Map every training sample to its leaf.
-    std::vector<std::vector<std::size_t>> leaf_rows(tree.nodes.size());
+  const double inf = std::numeric_limits<double>::infinity();
+  struct TreeAux {
+    std::vector<std::vector<std::size_t>> leaf_rows;  // train rows per leaf
+    std::vector<Box> cell_boxes;                      // split cell per node
+  };
+  std::vector<TreeAux> aux(trees_.size());
+  pool.parallel_for(trees_.size(), [&](std::size_t t) {
+    const GuidedTree& tree = trees_[t];
+    aux[t].leaf_rows.resize(tree.nodes.size());
     for (std::size_t i = 0; i < train.rows(); ++i) {
-      leaf_rows[static_cast<std::size_t>(tree.leaf_index(train.row(i)))].push_back(i);
+      aux[t].leaf_rows[static_cast<std::size_t>(tree.leaf_index(train.row(i)))].push_back(i);
     }
-    // Split cells with open (infinite) outer edges, plus a finite version
-    // clipped to the training data's global box for sampling purposes.
-    const double inf = std::numeric_limits<double>::infinity();
-    std::vector<Box> cell_boxes(tree.nodes.size());
+    aux[t].cell_boxes.resize(tree.nodes.size());
     collect_cell_boxes(tree.nodes, 0,
                        Box{std::vector<double>(m, -inf), std::vector<double>(m, inf)},
-                       cell_boxes);
-    auto finite_cell = [&](std::size_t li) {
+                       aux[t].cell_boxes);
+  });
+
+  // … then one scoring task per (tree, leaf): this AE-inference loop over
+  // X_leaf U X_aug dominates fit() wall time. Each task writes only its own
+  // leaf node and reads only const state, so no synchronisation is needed.
+  struct LeafTask {
+    std::uint32_t tree, node;
+  };
+  std::vector<LeafTask> leaves;
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    for (std::size_t li = 0; li < trees_[t].nodes.size(); ++li) {
+      if (trees_[t].nodes[li].feature < 0) {
+        leaves.push_back({static_cast<std::uint32_t>(t), static_cast<std::uint32_t>(li)});
+      }
+    }
+  }
+  pool.parallel_for(leaves.size(), [&](std::size_t k) {
+    const std::size_t t = leaves[k].tree;
+    const std::size_t li = leaves[k].node;
+    auto& node = trees_[t].nodes[li];
+    const auto& leaf_rows = aux[t].leaf_rows[li];
+    const auto& cell_boxes = aux[t].cell_boxes;
+    // Stream keyed by (tree, leaf) — not by k — so it does not depend on
+    // how the task list happened to be flattened.
+    ml::Rng leaf_rng =
+        ml::task_rng(distill_seed, (static_cast<std::uint64_t>(t) << 32) | li);
+
+    auto finite_cell = [&] {
       Box b = cell_boxes[li];
       for (std::size_t j = 0; j < m; ++j) {
         b.lo[j] = std::max(b.lo[j], feat_min_[j]);
@@ -253,47 +297,42 @@ void GuidedIsolationForest::fit(const ml::Matrix& train, const AeEnsemble& teach
       return b;
     };
 
-    for (std::size_t li = 0; li < tree.nodes.size(); ++li) {
-      auto& node = tree.nodes[li];
-      if (node.feature >= 0) continue;
-      // X_leaf U X_aug; X_aug ~ features_range(leaf): the routed samples'
-      // bounding box when the leaf holds data, else the leaf's split cell.
-      ml::Matrix pts(0, m);
-      for (std::size_t row : leaf_rows[li]) pts.push_row(train.row(row));
-      const Box box = leaf_rows[li].size() > 1 ? data_box(train, leaf_rows[li])
-                                               : finite_cell(li);
-      augment_box(box, cfg_.augment, rng, pts);
+    // X_leaf U X_aug; X_aug ~ features_range(leaf): the routed samples'
+    // bounding box when the leaf holds data, else the leaf's split cell.
+    ml::Matrix pts(0, m);
+    for (std::size_t row : leaf_rows) pts.push_row(train.row(row));
+    const Box box = leaf_rows.size() > 1 ? data_box(train, leaf_rows) : finite_cell();
+    augment_box(box, cfg_.augment, leaf_rng, pts);
 
-      node.leaf_re.assign(r, 0.0);
-      for (std::size_t i = 0; i < pts.rows(); ++i) {
-        for (std::size_t u = 0; u < r; ++u) {
-          node.leaf_re[u] += teacher.reconstruction_error(u, pts.row(i));
-        }
-      }
-      for (auto& v : node.leaf_re) v /= static_cast<double>(pts.rows());
-      node.label = teacher.vote_from_errors(node.leaf_re);
-
-      // Benign support hypercube: routed samples' bounding box inflated by
-      // the margin (plus a small absolute slack so zero-span dimensions
-      // still generalise), clipped to the leaf's split cell. Empty leaves
-      // keep the whole cell as their box (their label already covers it).
-      node.box_lo.assign(m, 0.0);
-      node.box_hi.assign(m, 0.0);
-      if (leaf_rows[li].size() > 1) {
-        const Box data = data_box(train, leaf_rows[li]);
-        for (std::size_t j = 0; j < m; ++j) {
-          const double span = data.hi[j] - data.lo[j];
-          const double slack =
-              cfg_.box_margin * span + 0.005 * (feat_max_[j] - feat_min_[j]);
-          node.box_lo[j] = std::max(data.lo[j] - slack, cell_boxes[li].lo[j]);
-          node.box_hi[j] = std::min(data.hi[j] + slack, cell_boxes[li].hi[j]);
-        }
-      } else {
-        node.box_lo = cell_boxes[li].lo;
-        node.box_hi = cell_boxes[li].hi;
+    node.leaf_re.assign(r, 0.0);
+    for (std::size_t i = 0; i < pts.rows(); ++i) {
+      for (std::size_t u = 0; u < r; ++u) {
+        node.leaf_re[u] += teacher.reconstruction_error(u, pts.row(i));
       }
     }
-  }
+    for (auto& v : node.leaf_re) v /= static_cast<double>(pts.rows());
+    node.label = teacher.vote_from_errors(node.leaf_re);
+
+    // Benign support hypercube: routed samples' bounding box inflated by
+    // the margin (plus a small absolute slack so zero-span dimensions
+    // still generalise), clipped to the leaf's split cell. Empty leaves
+    // keep the whole cell as their box (their label already covers it).
+    node.box_lo.assign(m, 0.0);
+    node.box_hi.assign(m, 0.0);
+    if (leaf_rows.size() > 1) {
+      const Box data = data_box(train, leaf_rows);
+      for (std::size_t j = 0; j < m; ++j) {
+        const double span = data.hi[j] - data.lo[j];
+        const double slack =
+            cfg_.box_margin * span + 0.005 * (feat_max_[j] - feat_min_[j]);
+        node.box_lo[j] = std::max(data.lo[j] - slack, cell_boxes[li].lo[j]);
+        node.box_hi[j] = std::min(data.hi[j] + slack, cell_boxes[li].hi[j]);
+      }
+    } else {
+      node.box_lo = cell_boxes[li].lo;
+      node.box_hi = cell_boxes[li].hi;
+    }
+  });
 }
 
 int GuidedIsolationForest::predict(std::span<const double> x) const {

@@ -36,6 +36,12 @@ struct GuidedForestConfig {
   /// a benign leaf's *cell* but outside its *box* is off the benign support
   /// and votes malicious — whitelist semantics (Fig. 3c).
   double box_margin = 0.10;
+  /// Worker threads for fit(): per-tree guided growth and per-leaf
+  /// distillation scoring run in parallel (0 = hardware concurrency).
+  /// Every tree/leaf draws from an RNG stream derived deterministically
+  /// from the root seed and its own index, so the fitted model is
+  /// bit-identical at every thread count.
+  std::size_t num_threads = 1;
 };
 
 struct GuidedNode {
@@ -71,7 +77,10 @@ class GuidedIsolationForest {
 
   /// Train trees (teacher-guided growth) and distil leaf labels. `train` is
   /// the (nominally benign) training set; the teacher tells the trees where
-  /// inside and around it malicious structure lives.
+  /// inside and around it malicious structure lives. Draws one root seed
+  /// from `rng` and derives an independent stream per tree (growth) and per
+  /// leaf (distillation); with cfg.num_threads > 1 those tasks run on a
+  /// thread pool without changing the fitted model.
   void fit(const ml::Matrix& train, const AeEnsemble& teacher, ml::Rng& rng);
 
   /// Majority vote across trees: 1 = malicious (strict majority).

@@ -32,8 +32,12 @@ void FlowStats::add(const traffic::Packet& p, bool keep_samples) {
   if (count == 0) {
     first_ts = p.ts;
     min_size = max_size = size;
-    dst_port = p.ft.dst_port;
-    proto = p.ft.proto;
+    // Flows are keyed bidirectionally (bihash), so the first packet seen may
+    // travel either direction; take the tuple's canonical orientation so the
+    // port/proto features don't depend on which side spoke first.
+    const traffic::FiveTuple canon = p.ft.canonical();
+    dst_port = canon.dst_port;
+    proto = canon.proto;
   } else {
     const double ipd = std::max(0.0, p.ts - last_ts);
     if (count == 1) {

@@ -4,9 +4,29 @@
 #include <stdexcept>
 
 #include "eval/protocol.hpp"
+#include "ml/parallel.hpp"
 #include "trafficgen/benign.hpp"
 
 namespace iguard::harness {
+
+namespace {
+
+/// Score every row of x with `det`, fanning out across a pool when the
+/// detector's scoring path is race-free (the AE/iForest baselines are; the
+/// others keep per-call scratch and run sequentially).
+std::vector<double> score_rows(ml::AnomalyDetector& det, const ml::Matrix& x,
+                               std::size_t num_threads) {
+  std::vector<double> s(x.rows());
+  if (det.thread_safe_score() && num_threads != 1) {
+    ml::ThreadPool pool(ml::resolve_threads(num_threads));
+    pool.parallel_for(x.rows(), [&](std::size_t i) { s[i] = det.score(x.row(i)); });
+  } else {
+    for (std::size_t i = 0; i < x.rows(); ++i) s[i] = det.score(x.row(i));
+  }
+  return s;
+}
+
+}  // namespace
 
 CpuLab::CpuLab(CpuLabConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {
   traffic::BenignConfig bcfg;
@@ -87,26 +107,27 @@ AttackSplit CpuLab::make_attack_split(traffic::AttackType type,
 
 eval::DetectionMetrics CpuLab::evaluate_detector(ml::AnomalyDetector& det,
                                                  const AttackSplit& split) const {
-  std::vector<double> val_scores(split.val_x.rows());
-  for (std::size_t i = 0; i < split.val_x.rows(); ++i)
-    val_scores[i] = det.score(split.val_x.row(i));
+  const std::size_t nt = cfg_.forest.num_threads;
+  const auto val_scores = score_rows(det, split.val_x, nt);
   det.set_threshold(eval::best_f1_threshold(split.val_y, val_scores));
 
-  std::vector<double> scores(split.test_x.rows());
+  const auto scores = score_rows(det, split.test_x, nt);
   std::vector<int> pred(split.test_x.rows());
   for (std::size_t i = 0; i < split.test_x.rows(); ++i) {
-    scores[i] = det.score(split.test_x.row(i));
     pred[i] = scores[i] > det.threshold() ? 1 : 0;
   }
   return eval::evaluate(split.test_y, pred, scores);
 }
 
 std::vector<double> CpuLab::calibrate_teacher(const AttackSplit& split) const {
+  // One batched (parallel) scoring pass over validation; per-member
+  // thresholds come from columns of the error matrix.
+  const ml::Matrix errs =
+      teacher_.reconstruction_errors(split.val_x, cfg_.forest.num_threads);
   std::vector<double> base(teacher_.size());
   std::vector<double> s(split.val_x.rows());
   for (std::size_t u = 0; u < teacher_.size(); ++u) {
-    for (std::size_t i = 0; i < split.val_x.rows(); ++i)
-      s[i] = teacher_.reconstruction_error(u, split.val_x.row(i));
+    for (std::size_t i = 0; i < errs.rows(); ++i) s[i] = errs(i, u);
     base[u] = eval::best_f1_threshold(split.val_y, s);
   }
   return base;
@@ -116,11 +137,13 @@ eval::DetectionMetrics CpuLab::evaluate_teacher(const AttackSplit& split,
                                                 std::span<const double> base_t) const {
   for (std::size_t u = 0; u < teacher_.size(); ++u)
     teacher_.set_member_threshold(u, base_t[u]);
+  const ml::Matrix errs =
+      teacher_.reconstruction_errors(split.test_x, cfg_.forest.num_threads);
   std::vector<double> scores(split.test_x.rows());
   std::vector<int> pred(split.test_x.rows());
   for (std::size_t i = 0; i < split.test_x.rows(); ++i) {
-    scores[i] = teacher_.reconstruction_error(0, split.test_x.row(i));
-    pred[i] = teacher_.predict(split.test_x.row(i));
+    scores[i] = errs(i, 0);
+    pred[i] = teacher_.vote_from_errors(errs.row(i));
   }
   return eval::evaluate(split.test_y, pred, scores);
 }
@@ -140,8 +163,12 @@ IGuardOutcome CpuLab::train_iguard(const AttackSplit& split,
     ml::Rng crng(cfg_.seed ^ 0x16A11u ^ static_cast<std::uint64_t>(scale * 1000.0));
     cand->fit_with_teacher(train_x_, ml::Matrix{}, teacher_, crng);
     std::vector<int> vp(split.val_x.rows());
-    for (std::size_t i = 0; i < split.val_x.rows(); ++i)
-      vp[i] = cand->predict_flow_model(split.val_x.row(i));
+    {
+      ml::ThreadPool pool(ml::resolve_threads(cfg_.forest.num_threads));
+      pool.parallel_for(split.val_x.rows(), [&](std::size_t i) {
+        vp[i] = cand->predict_flow_model(split.val_x.row(i));
+      });
+    }
     const double f1 = eval::macro_f1(split.val_y, vp);
     if (f1 > best_val) {
       best_val = f1;
@@ -153,13 +180,17 @@ IGuardOutcome CpuLab::train_iguard(const AttackSplit& split,
   for (std::size_t u = 0; u < teacher_.size(); ++u)
     teacher_.set_member_threshold(u, base_t[u]);
 
-  // Test metrics: model (soft = vote fraction) and deployed rules.
+  // Test metrics: model (soft = vote fraction) and deployed rules. Tree
+  // votes and rule-table matches are pure reads, so rows score in parallel.
   std::vector<double> sc(split.test_x.rows());
   std::vector<int> pm(split.test_x.rows()), pr(split.test_x.rows());
-  for (std::size_t i = 0; i < split.test_x.rows(); ++i) {
-    sc[i] = out.guard->vote_fraction(split.test_x.row(i));
-    pm[i] = out.guard->predict_flow_model(split.test_x.row(i));
-    pr[i] = out.guard->predict_flow(split.test_x.row(i));
+  {
+    ml::ThreadPool pool(ml::resolve_threads(cfg_.forest.num_threads));
+    pool.parallel_for(split.test_x.rows(), [&](std::size_t i) {
+      sc[i] = out.guard->vote_fraction(split.test_x.row(i));
+      pm[i] = out.guard->predict_flow_model(split.test_x.row(i));
+      pr[i] = out.guard->predict_flow(split.test_x.row(i));
+    });
   }
   out.model = eval::evaluate(split.test_y, pm, sc);
   std::vector<double> rs(pr.begin(), pr.end());

@@ -43,17 +43,21 @@ void Autoencoder::fit(const Matrix& benign, Rng& rng) {
   threshold_ = errors[k];
 }
 
-double Autoencoder::reconstruction_error(std::span<const double> x) {
+double Autoencoder::reconstruction_error(std::span<const double> x) const {
   if (!scaler_.fitted()) throw std::logic_error("Autoencoder: not fitted");
-  scaled_.resize(x.size());
-  scaler_.transform_row(x, scaled_);
-  const auto& y = net_.forward(scaled_);
+  // Thread-local scratch: no allocation on the hot path, no shared mutable
+  // state — the distillation and batch-scoring loops call this from many
+  // threads on one const autoencoder.
+  thread_local std::vector<double> scaled, out, scratch;
+  scaled.resize(x.size());
+  scaler_.transform_row(x, scaled);
+  net_.forward_const(scaled, out, scratch);
   double s = 0.0;
-  for (std::size_t i = 0; i < y.size(); ++i) {
-    const double d = y[i] - scaled_[i];
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double d = out[i] - scaled[i];
     s += d * d;
   }
-  return std::sqrt(s / static_cast<double>(y.size()));
+  return std::sqrt(s / static_cast<double>(out.size()));
 }
 
 AutoencoderConfig magnifier_config(std::size_t epochs) {

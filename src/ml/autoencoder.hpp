@@ -34,12 +34,15 @@ class Autoencoder : public AnomalyDetector {
 
   void fit(const Matrix& benign, Rng& rng) override;
   double score(std::span<const double> x) override { return reconstruction_error(x); }
+  bool thread_safe_score() const override { return true; }
   double threshold() const override { return threshold_; }
   void set_threshold(double t) override { threshold_ = t; }
   std::string name() const override { return cfg_.label; }
 
   /// RMSE reconstruction error in standardised space (RE_u in the paper).
-  double reconstruction_error(std::span<const double> x);
+  /// Const and race-free: concurrent calls on one fitted autoencoder are
+  /// safe (scratch buffers are thread-local).
+  double reconstruction_error(std::span<const double> x) const;
 
   /// Final-epoch training loss (diagnostics / tests).
   double final_loss() const { return final_loss_; }
@@ -51,7 +54,6 @@ class Autoencoder : public AnomalyDetector {
   Mlp net_;
   double threshold_ = 0.0;
   double final_loss_ = 0.0;
-  std::vector<double> scaled_;  // scratch
 };
 
 /// HorusEye's Magnifier stand-in: deep encoder m->32->16->4, shallow decoder

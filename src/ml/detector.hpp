@@ -22,6 +22,12 @@ class AnomalyDetector {
   /// Anomaly score for one sample; higher = more anomalous.
   virtual double score(std::span<const double> x) = 0;
 
+  /// True when concurrent score() calls on one fitted detector are
+  /// race-free. Defaults to false; detectors whose scoring path carries no
+  /// mutable state opt in, and batch evaluators may then fan scoring out
+  /// across a thread pool.
+  virtual bool thread_safe_score() const { return false; }
+
   /// Decision threshold on score(); callers may recalibrate on validation.
   virtual double threshold() const = 0;
   virtual void set_threshold(double t) = 0;

@@ -51,6 +51,7 @@ class IsolationForest : public AnomalyDetector {
 
   void fit(const Matrix& benign, Rng& rng) override;
   double score(std::span<const double> x) override { return anomaly_score(x); }
+  bool thread_safe_score() const override { return true; }  // pure tree walks
   double threshold() const override { return threshold_; }
   void set_threshold(double t) override { threshold_ = t; }
   std::string name() const override { return "iforest"; }

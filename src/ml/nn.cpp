@@ -59,6 +59,14 @@ void DenseLayer::forward(std::span<const double> x, std::vector<double>& y) {
   last_y_ = y;
 }
 
+void DenseLayer::forward_const(std::span<const double> x, std::vector<double>& y) const {
+  if (x.size() != in_dim()) throw std::invalid_argument("DenseLayer: bad input width");
+  y.resize(out_dim());
+  for (std::size_t o = 0; o < out_dim(); ++o) {
+    y[o] = apply_activation(act_, dot(w_.row(o), x) + b_[o]);
+  }
+}
+
 void DenseLayer::backward(std::span<const double> dy, std::vector<double>& dx) {
   dx.assign(in_dim(), 0.0);
   for (std::size_t o = 0; o < out_dim(); ++o) {
@@ -119,6 +127,18 @@ const std::vector<double>& Mlp::forward(std::span<const double> x) {
     cur = buf_[l];
   }
   return buf_.back();
+}
+
+void Mlp::forward_const(std::span<const double> x, std::vector<double>& out,
+                        std::vector<double>& scratch) const {
+  std::vector<double>* cur = &out;
+  std::vector<double>* nxt = &scratch;
+  layers_.front().forward_const(x, *cur);
+  for (std::size_t l = 1; l < layers_.size(); ++l) {
+    layers_[l].forward_const(*cur, *nxt);
+    std::swap(cur, nxt);
+  }
+  if (cur != &out) out.swap(*cur);
 }
 
 void Mlp::backward(std::span<const double> dout, std::vector<double>& dx) {

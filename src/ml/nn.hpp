@@ -33,6 +33,10 @@ class DenseLayer {
   /// Forward one sample; caches input and output for a later backward().
   void forward(std::span<const double> x, std::vector<double>& y);
 
+  /// Forward one sample without touching the training caches. Safe to call
+  /// concurrently from many threads on the same (const) layer.
+  void forward_const(std::span<const double> x, std::vector<double>& y) const;
+
   /// Backward one sample: consumes dL/dy, accumulates parameter gradients,
   /// and produces dL/dx. Must follow the matching forward() call.
   void backward(std::span<const double> dy, std::vector<double>& dx);
@@ -69,6 +73,13 @@ class Mlp {
   /// Forward pass; returns reference to an internal buffer (valid until the
   /// next forward call on this object).
   const std::vector<double>& forward(std::span<const double> x);
+
+  /// Inference-only forward pass into caller-owned buffers: leaves the
+  /// network untouched (no activation caches), so concurrent calls on one
+  /// const Mlp are race-free. `out` receives the output; `scratch` is
+  /// ping-pong storage for intermediate layers.
+  void forward_const(std::span<const double> x, std::vector<double>& out,
+                     std::vector<double>& scratch) const;
 
   /// One minibatch of (x -> target) pairs with MSE loss; returns mean loss.
   double train_batch(const Matrix& x, const Matrix& target,

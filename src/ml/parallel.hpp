@@ -1,0 +1,159 @@
+// Reusable parallelism layer: a small persistent thread pool with a blocking
+// parallel_for, plus deterministic per-task RNG stream derivation. The
+// contract every user of this header relies on:
+//
+//   * parallel_for(n, fn) invokes fn(i) exactly once for every i in [0, n);
+//     scheduling is dynamic (an atomic index), so which *thread* runs a task
+//     is nondeterministic — but a task may depend only on its index and on
+//     immutable shared inputs, never on other tasks or on thread identity.
+//   * Randomised tasks draw from task_rng(seed, index), an independent
+//     stream derived purely from (seed, index). Together these make every
+//     parallel computation bit-identical across thread counts and runs.
+//
+// The pool is cheap enough to create per training call (workers are lazy;
+// a 1-thread pool spawns none and runs inline).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ml/rng.hpp"
+
+namespace iguard::ml {
+
+/// Resolve a user-facing thread-count knob: 0 = hardware concurrency.
+inline std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+/// splitmix64 finaliser: decorrelates adjacent seeds (seed ^ index for
+/// consecutive indices differ in few bits; mt19937_64 seeded with raw
+/// near-equal values produces visibly correlated streams).
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Independent RNG stream for task `index` under root `seed`: a pure
+/// function of (seed, index), so results never depend on thread count or
+/// on the order tasks were claimed.
+inline Rng task_rng(std::uint64_t seed, std::uint64_t index) {
+  return Rng(mix64(seed ^ mix64(index)));
+}
+
+/// Fixed-size pool of `size() - 1` worker threads; the caller of
+/// parallel_for participates as the remaining thread. Jobs are dispatched
+/// one at a time (parallel_for blocks until the job drains), which is all
+/// the coarse-grained training loops here need.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads = 0)
+      : threads_(resolve_threads(num_threads)) {
+    workers_.reserve(threads_ - 1);
+    for (std::size_t t = 0; t + 1 < threads_; ++t) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  std::size_t size() const { return threads_; }
+
+  /// Run fn(i) for every i in [0, n); blocks until all tasks finish. Tasks
+  /// are claimed dynamically for load balance. If any task throws, the
+  /// remaining tasks still run and the first exception is rethrown here.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    if (workers_.empty() || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      job_fn_ = &fn;
+      job_n_ = n;
+      next_.store(0, std::memory_order_relaxed);
+      active_ = workers_.size();
+      ++generation_;
+    }
+    wake_cv_.notify_all();
+    run_tasks(fn, n);  // the caller is a full participant
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [this] { return active_ == 0; });
+    job_fn_ = nullptr;
+    if (error_) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* fn = nullptr;
+      std::size_t n = 0;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        wake_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        fn = job_fn_;
+        n = job_n_;
+      }
+      run_tasks(*fn, n);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (--active_ == 0) done_cv_.notify_one();
+      }
+    }
+  }
+
+  void run_tasks(const std::function<void(std::size_t)>& fn, std::size_t n) {
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+  }
+
+  std::size_t threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable wake_cv_, done_cv_;
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t active_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace iguard::ml

@@ -27,6 +27,9 @@ void Quantizer::fit(const ml::Matrix& x) {
 }
 
 std::uint32_t Quantizer::quantize_value(std::size_t field, double v) const {
+  // NaN compares false against both clamps below and would reach the
+  // undefined float->int cast; map it to the lowest level deterministically.
+  if (std::isnan(v)) return 0;
   const double span = hi_[field] - lo_[field];
   const double z = (v - lo_[field]) / span;
   const double scaled = z * static_cast<double>(domain_max());

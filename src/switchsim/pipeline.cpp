@@ -43,7 +43,9 @@ void Pipeline::finalize_flow(const traffic::Packet& p, IntFlowState& st, SimStat
   }
   st.clear_features();
   // Mirror to loopback to commit the label (green path, simulated inline).
-  count(stats, Path::kGreen);
+  // Mirrors are copies, not packets of their own: tracked separately so
+  // path_count still sums to exactly stats.packets.
+  ++stats.green_mirrors;
 }
 
 int Pipeline::process(const traffic::Packet& p, SimStats& stats) {
@@ -67,7 +69,7 @@ int Pipeline::process(const traffic::Packet& p, SimStats& stats) {
         // Resident flow already classified: reclaim the slot for this flow.
         store_.clear_slot(resident);
         resident.update(p, store_.signature(p.ft));
-        count(stats, Path::kGreen);  // loopback mirror re-initialises flow ID
+        ++stats.green_mirrors;  // loopback mirror re-initialises flow ID
       }
       verdict = classify_pl(p);
     } else {
@@ -84,10 +86,14 @@ int Pipeline::process(const traffic::Packet& p, SimStats& stats) {
                                now_us > st.last_ts_us && now_us - st.last_ts_us > delta_us;
         if (timed_out) {
           // --- blue (timeout flavour) --------------------------------------
-          // The idle flow is finalised with what it had; the current packet
-          // was unaccounted for, so it gets a PL verdict (green-path note).
+          // The idle flow is finalised with what it had; the triggering
+          // packet then seeds the fresh feature epoch — exactly what
+          // extract_switch_features does on timeout, so deployed flows see
+          // the same features the FL rules were trained on. The packet
+          // itself still gets a PL verdict (its FL epoch just began).
           count(stats, Path::kBlue);
           finalize_flow(p, st, stats);
+          st.update(p, store_.signature(p.ft));
           verdict = classify_pl(p);
         } else {
           st.update(p, store_.signature(p.ft));

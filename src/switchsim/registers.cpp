@@ -46,6 +46,17 @@ FlowStore::Access FlowStore::access(const traffic::FiveTuple& ft) {
   return a;
 }
 
+const IntFlowState* FlowStore::find(const traffic::FiveTuple& ft) const {
+  const std::uint64_t sig = signature(ft);
+  const IntFlowState& s1 =
+      table1_[static_cast<std::size_t>(traffic::bihash(ft, seed1_)) % table1_.size()];
+  const IntFlowState& s2 =
+      table2_[static_cast<std::size_t>(traffic::bihash(ft, seed2_)) % table2_.size()];
+  if (!s1.empty() && s1.sig == sig) return &s1;
+  if (!s2.empty() && s2.sig == sig) return &s2;
+  return nullptr;
+}
+
 std::size_t FlowStore::occupied() const {
   std::size_t n = 0;
   for (const auto& s : table1_) n += s.empty() ? 0 : 1;

@@ -29,6 +29,10 @@ class FlowStore {
   /// Look up (or claim a slot for) the flow with the given 5-tuple.
   Access access(const traffic::FiveTuple& ft);
 
+  /// Read-only lookup (no slot claiming): the resident state for this flow,
+  /// or nullptr if it is not tracked.
+  const IntFlowState* find(const traffic::FiveTuple& ft) const;
+
   /// Signature used for slot ownership checks.
   std::uint64_t signature(const traffic::FiveTuple& ft) const;
 

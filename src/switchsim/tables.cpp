@@ -42,7 +42,10 @@ void BlacklistTable::install(const traffic::FiveTuple& ft) {
     }
   }
   entries_[k] = ++clock_;
-  order_.push_back(k);
+  // The install-order deque exists only for FIFO eviction; LRU finds its
+  // victim by stamp. Pushing under LRU would grow the deque one entry per
+  // install for the lifetime of the table without ever draining it.
+  if (policy_ == EvictionPolicy::kFifo) order_.push_back(k);
 }
 
 void Controller::on_digest(const Digest& d) {

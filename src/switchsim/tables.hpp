@@ -30,6 +30,9 @@ class BlacklistTable {
   std::size_t size() const { return entries_.size(); }
   std::size_t capacity() const { return capacity_; }
   std::size_t evictions() const { return evictions_; }
+  /// FIFO bookkeeping queue length (0 under LRU); exposed so tests can
+  /// assert the queue stays bounded by the live entry count.
+  std::size_t order_queue_size() const { return order_.size(); }
 
  private:
   std::uint64_t key(const traffic::FiveTuple& ft) const { return traffic::bihash(ft, 0xB1AC); }

@@ -1,7 +1,6 @@
 #include "trafficgen/packet.hpp"
 
 #include <algorithm>
-#include <tuple>
 
 namespace iguard::traffic {
 
@@ -24,8 +23,7 @@ std::uint64_t dirhash(const FiveTuple& ft, std::uint64_t seed) {
 
 std::uint64_t bihash(const FiveTuple& ft, std::uint64_t seed) {
   // Canonicalise the direction so (a -> b) and (b -> a) hash identically.
-  const bool fwd = std::make_tuple(ft.src_ip, ft.src_port) <= std::make_tuple(ft.dst_ip, ft.dst_port);
-  return fwd ? dirhash(ft, seed) : dirhash(ft.reversed(), seed);
+  return dirhash(ft.canonical(), seed);
 }
 
 void Trace::sort_by_time() {

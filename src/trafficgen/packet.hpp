@@ -22,6 +22,14 @@ struct FiveTuple {
 
   /// Direction-reversed tuple (for bidirectional flow keys).
   FiveTuple reversed() const { return {dst_ip, src_ip, dst_port, src_port, proto}; }
+
+  /// Canonical orientation — the same rule bihash() uses to make both
+  /// directions hash alike: the endpoint with the smaller (ip, port) pair is
+  /// the source. Direction-invariant: ft.canonical() == ft.reversed().canonical().
+  FiveTuple canonical() const {
+    const bool fwd = src_ip < dst_ip || (src_ip == dst_ip && src_port <= dst_port);
+    return fwd ? *this : reversed();
+  }
 };
 
 /// 64-bit order-independent (bidirectional) hash of a 5-tuple — the paper's

@@ -69,6 +69,28 @@ TEST(FlowStats, CpuExtendedPercentilesAndContext) {
   EXPECT_DOUBLE_EQ(f[18], 6.0);     // proto
 }
 
+TEST(FlowStats, PortProtoIndependentOfFirstPacketDirection) {
+  // Regression: flows are keyed bidirectionally, so whichever side speaks
+  // first must not change the dst_port/proto features.
+  auto fwd = mk(0.0, 100);
+  auto rev = fwd;
+  rev.ft = fwd.ft.reversed();
+
+  FlowStats a;  // client (src_port 1000) speaks first
+  a.add(fwd, true);
+  a.add(rev, true);
+  FlowStats b;  // server (port 80) speaks first
+  b.add(rev, true);
+  b.add(fwd, true);
+  EXPECT_EQ(a.dst_port, b.dst_port);
+  EXPECT_EQ(a.proto, b.proto);
+
+  const auto fa = finalize_features(a, FeatureSet::kCpuExtended);
+  const auto fb = finalize_features(b, FeatureSet::kCpuExtended);
+  EXPECT_DOUBLE_EQ(fa[17], fb[17]);  // dst_port
+  EXPECT_DOUBLE_EQ(fa[18], fb[18]);  // proto
+}
+
 TEST(Extract, BidirectionalPacketsShareOneFlow) {
   traffic::Trace t;
   t.packets.push_back(mk(0.0, 100));

@@ -83,13 +83,13 @@ TEST(TestbedIntegration, PipelineBeatsBaselinePerPacket) {
   const auto out = lab.run_attack(traffic::AttackType::kMirai);
   EXPECT_GT(out.iguard.macro_f1, out.iforest.macro_f1);
   EXPECT_GT(out.iguard.macro_f1, 0.6);
-  // Path accounting must cover every packet exactly once.
+  // Path accounting must cover every packet exactly once; loopback mirrors
+  // are copies and live in their own counter.
   std::size_t paths = 0;
-  for (std::size_t i = 0; i < 6; ++i) {
-    if (i == static_cast<std::size_t>(switchsim::Path::kGreen)) continue;  // mirrors
-    paths += out.iguard_stats.path_count[i];
-  }
+  for (std::size_t i = 0; i < 6; ++i) paths += out.iguard_stats.path_count[i];
   EXPECT_EQ(paths, out.iguard_stats.packets);
+  EXPECT_EQ(out.iguard_stats.path(switchsim::Path::kGreen), 0u);
+  EXPECT_GE(out.iguard_stats.green_mirrors, out.iguard_stats.flows_classified);
   EXPECT_EQ(out.iguard_stats.pred.size(), out.iguard_stats.packets);
 }
 

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <vector>
+
 #include "ml/rng.hpp"
 #include "rules/quantize.hpp"
 #include "rules/range_rule.hpp"
@@ -125,6 +128,18 @@ TEST(Quantizer, ClampsOutOfSpan) {
   q.fit(x);
   EXPECT_EQ(q.quantize_value(0, -1000.0), 0u);
   EXPECT_EQ(q.quantize_value(0, 1000.0), q.domain_max());
+}
+
+TEST(Quantizer, NanMapsToLowestLevel) {
+  // Regression: NaN used to fall through both clamps into an undefined
+  // float->int cast; it must map deterministically instead.
+  ml::Matrix x{{0.0}, {100.0}};
+  Quantizer q(8);
+  q.fit(x);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(q.quantize_value(0, nan), 0u);
+  const std::vector<double> row{nan};
+  EXPECT_EQ(q.quantize(row)[0], 0u);
 }
 
 TEST(Quantizer, QuantizePreservesOrderOfSamples) {

@@ -152,6 +152,25 @@ TEST(Blacklist, LruEvictionRefreshesOnHit) {
   EXPECT_FALSE(bl.contains(f2));
 }
 
+TEST(Blacklist, LruInstallKeepsFifoQueueEmpty) {
+  // Regression: the FIFO bookkeeping deque used to grow on every install
+  // under LRU too, without ever being drained — unbounded memory on a
+  // long-running table.
+  BlacklistTable bl(2, EvictionPolicy::kLru);
+  for (std::uint16_t i = 1; i <= 100; ++i) bl.install(mk(0, 0, i, i).ft);
+  EXPECT_EQ(bl.size(), 2u);
+  EXPECT_EQ(bl.order_queue_size(), 0u);
+  EXPECT_EQ(bl.evictions(), 98u);
+}
+
+TEST(Blacklist, FifoQueueBoundedByLiveEntries) {
+  BlacklistTable bl(2, EvictionPolicy::kFifo);
+  for (std::uint16_t i = 1; i <= 100; ++i) bl.install(mk(0, 0, i, i).ft);
+  EXPECT_EQ(bl.size(), 2u);
+  // Evictions pop as installs push: the queue tracks live entries.
+  EXPECT_EQ(bl.order_queue_size(), 2u);
+}
+
 TEST(Controller, DigestAccountingAndInstall) {
   BlacklistTable bl(8);
   Controller ctl(bl);
@@ -264,6 +283,44 @@ TEST_F(PipelineTest, TimeoutFinalisesIdleFlow) {
   pipe.process(mk(5.0, 100), st);  // idle > 1 s: blue (timeout flavour)
   EXPECT_EQ(st.path(Path::kBlue), 1u);
   EXPECT_EQ(st.flows_classified, 1u);
+}
+
+TEST_F(PipelineTest, TimeoutSeedsFreshEpochWithTriggeringPacket) {
+  // Regression: the packet that trips the idle timeout must start the next
+  // feature epoch (as extract_switch_features does during training), not be
+  // dropped from the registers entirely.
+  PipelineConfig cfg;
+  cfg.packet_threshold_n = 100;
+  cfg.idle_timeout_delta = 1.0;
+  Pipeline pipe = make(cfg);
+  SimStats st;
+  const auto trigger = mk(5.0, 321);
+  pipe.process(mk(0.0, 100), st);
+  pipe.process(mk(0.1, 100), st);
+  pipe.process(trigger, st);  // timeout: finalise old epoch, seed new one
+  const IntFlowState* flow = pipe.flow_store().find(trigger.ft);
+  ASSERT_NE(flow, nullptr);
+  EXPECT_EQ(flow->pkt_count, 1u);
+  EXPECT_EQ(flow->total_size, 321u);
+  EXPECT_EQ(flow->last_ts_us, static_cast<std::uint64_t>(5.0 * 1e6));
+}
+
+TEST_F(PipelineTest, GreenMirrorsTrackedSeparately) {
+  // Mirrors are copies of blue/orange packets; path_count must sum to the
+  // packet total with the mirror volume in its own counter.
+  PipelineConfig cfg;
+  cfg.packet_threshold_n = 2;
+  cfg.idle_timeout_delta = 0.0;
+  Pipeline pipe = make(cfg);
+  SimStats st;
+  pipe.process(mk(0.0, 100), st);  // brown
+  pipe.process(mk(0.1, 100), st);  // blue: finalise + mirror
+  pipe.process(mk(0.2, 100), st);  // purple
+  std::size_t paths = 0;
+  for (std::size_t i = 0; i < 6; ++i) paths += st.path_count[i];
+  EXPECT_EQ(paths, st.packets);
+  EXPECT_EQ(st.path(Path::kGreen), 0u);
+  EXPECT_EQ(st.green_mirrors, 1u);
 }
 
 TEST_F(PipelineTest, MaliciousFlowGetsBlacklisted) {
