@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full verification sweep: build + ctest plain, then under each sanitizer.
+# Usage: scripts/check.sh [--fast]
+#   --fast   plain build/test only (skip the sanitizer matrix)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+GENERATOR_ARGS=()
+command -v ninja >/dev/null 2>&1 && GENERATOR_ARGS=(-G Ninja)
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_suite() {
+  local name="$1" sanitize="$2"
+  local dir="build-check-${name}"
+  echo "=== ${name} (IGUARD_SANITIZE='${sanitize}') ==="
+  cmake -B "${dir}" -S . "${GENERATOR_ARGS[@]}" -DIGUARD_SANITIZE="${sanitize}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "${dir}" -j "${JOBS}"
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_suite plain ""
+if [[ "${1:-}" != "--fast" ]]; then
+  run_suite ubsan undefined
+  run_suite asan address
+  run_suite tsan thread
+fi
+echo "=== all checks passed ==="

@@ -23,7 +23,10 @@ std::size_t WhitelistUpdater::observe_benign(std::span<const std::uint32_t> key)
   for (auto& table : wl_->tables) {
     if (table.match(key).has_value()) continue;
     all_covered = false;
-    if (extensions_ >= cfg_.max_updates) continue;
+    if (extensions_ >= cfg_.max_updates) {
+      ++rejected_by_budget_;
+      continue;
+    }
 
     // Nearest rule by total gap, admissible only if every per-field gap
     // fits the extension budget.

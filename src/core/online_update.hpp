@@ -38,6 +38,13 @@ class WhitelistUpdater {
   std::size_t keys_seen() const { return keys_seen_; }
   std::size_t keys_fully_covered() const { return fully_covered_; }
   std::size_t extensions_applied() const { return extensions_; }
+  /// True once the max_updates safety valve has closed: no further rule
+  /// extensions will be applied, the whitelist is frozen.
+  bool budget_exhausted() const { return extensions_ >= cfg_.max_updates; }
+  /// Table extensions that would have been attempted but were refused
+  /// because the budget was spent — operators watch this to see the valve
+  /// closing (a steadily rising count means the model is drifting).
+  std::size_t rejected_by_budget() const { return rejected_by_budget_; }
 
  private:
   VoteWhitelist* wl_;
@@ -45,6 +52,7 @@ class WhitelistUpdater {
   std::size_t keys_seen_ = 0;
   std::size_t fully_covered_ = 0;
   std::size_t extensions_ = 0;
+  std::size_t rejected_by_budget_ = 0;
 };
 
 }  // namespace iguard::core

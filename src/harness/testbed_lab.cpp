@@ -65,9 +65,29 @@ TestbedOutcome TestbedLab::run_attack(traffic::AttackType type) const {
   return run_with_traces(make_attack_trace(type, 0x1111), make_attack_trace(type, 0x2222));
 }
 
-TestbedOutcome TestbedLab::run_with_traces(const traffic::Trace& attack_val,
-                                           const traffic::Trace& attack_test) const {
-  TestbedOutcome out;
+switchsim::DeployedModel Deployment::iguard_model() const {
+  switchsim::DeployedModel dm;
+  dm.fl_tables = &guard->whitelist();
+  dm.fl_quantizer = &guard->quantizer();
+  dm.pl_tables = guard->has_pl_model() ? &guard->pl_model().whitelist() : nullptr;
+  dm.pl_quantizer = guard->has_pl_model() ? &guard->pl_model().quantizer() : nullptr;
+  return dm;
+}
+
+switchsim::DeployedModel Deployment::iforest_model() const {
+  switchsim::DeployedModel dm;
+  dm.fl_tables = &iforest_rules;
+  dm.fl_quantizer = fl_quantizer;
+  return dm;
+}
+
+Deployment TestbedLab::deploy_attack(traffic::AttackType type) const {
+  return deploy_with_traces(make_attack_trace(type, 0x1111), make_attack_trace(type, 0x2222));
+}
+
+Deployment TestbedLab::deploy_with_traces(const traffic::Trace& attack_val,
+                                          const traffic::Trace& attack_test) const {
+  Deployment dep;
 
   // --- validation split (flow level, switch features) ----------------------
   ml::Matrix val_x = val_benign_fl_;
@@ -127,7 +147,7 @@ TestbedOutcome TestbedLab::run_with_traces(const traffic::Trace& attack_val,
         eval::deployment_reward(m.macro_f1, m.pr_auc, m.roc_auc, rho, cfg_.reward_alpha);
     if (reward > best_reward) {
       best_reward = reward;
-      out.selected_scale = scale;
+      dep.selected_scale = scale;
       guard = std::move(cand);
     }
   }
@@ -170,31 +190,31 @@ TestbedOutcome TestbedLab::run_with_traces(const traffic::Trace& attack_val,
     }
   }
 
-  // --- deploy and replay ----------------------------------------------------
-  traffic::Trace test_trace;
+  // --- package the deployment ----------------------------------------------
   {
     std::vector<traffic::Trace> parts;
     parts.push_back(benign_test_trace_);
     parts.push_back(attack_test);
-    test_trace = traffic::merge_traces(std::move(parts));
+    dep.test_trace = traffic::merge_traces(std::move(parts));
   }
-  for (const auto& p : test_trace.packets) out.offered_bytes += p.length;
-  out.trace_duration_s = test_trace.duration();
+  dep.guard = std::move(guard);
+  dep.iforest_rules = std::move(baseline_compiled);
+  dep.fl_quantizer = &fl_quantizer_;
+  return dep;
+}
 
-  switchsim::DeployedModel dm_iguard;
-  dm_iguard.fl_tables = &guard->whitelist();
-  dm_iguard.fl_quantizer = &guard->quantizer();
-  dm_iguard.pl_tables = guard->has_pl_model() ? &guard->pl_model().whitelist() : nullptr;
-  dm_iguard.pl_quantizer = guard->has_pl_model() ? &guard->pl_model().quantizer() : nullptr;
+TestbedOutcome TestbedLab::run_with_traces(const traffic::Trace& attack_val,
+                                           const traffic::Trace& attack_test) const {
+  Deployment dep = deploy_with_traces(attack_val, attack_test);
+  TestbedOutcome out;
+  out.selected_scale = dep.selected_scale;
+  for (const auto& p : dep.test_trace.packets) out.offered_bytes += p.length;
+  out.trace_duration_s = dep.test_trace.duration();
 
-  switchsim::DeployedModel dm_iforest;
-  dm_iforest.fl_tables = &baseline_compiled;
-  dm_iforest.fl_quantizer = &fl_quantizer_;
-
-  switchsim::Pipeline pipe_iguard(cfg_.pipe, dm_iguard);
-  switchsim::Pipeline pipe_iforest(cfg_.pipe, dm_iforest);
-  out.iguard_stats = pipe_iguard.run(test_trace);
-  out.iforest_stats = pipe_iforest.run(test_trace);
+  switchsim::Pipeline pipe_iguard(cfg_.pipe, dep.iguard_model());
+  switchsim::Pipeline pipe_iforest(cfg_.pipe, dep.iforest_model());
+  out.iguard_stats = pipe_iguard.run(dep.test_trace);
+  out.iforest_stats = pipe_iforest.run(dep.test_trace);
 
   auto packet_metrics = [](const switchsim::SimStats& st) {
     std::vector<int> truth(st.truth.begin(), st.truth.end());
@@ -208,21 +228,21 @@ TestbedOutcome TestbedLab::run_with_traces(const traffic::Trace& attack_val,
   // --- resources (Table 1) --------------------------------------------------
   {
     switchsim::DeploymentSpec spec;
-    spec.fl_rules = &guard->whitelist();
-    spec.pl_rules = &guard->pl_model().whitelist();
+    spec.fl_rules = &dep.guard->whitelist();
+    spec.pl_rules = &dep.guard->pl_model().whitelist();
     spec.flow_slots = cfg_.pipe.flow_slots;
     spec.blacklist_capacity = cfg_.pipe.blacklist_capacity;
     spec.vliw_slots = 31;  // + early-packet table action vs the baseline
     out.iguard_res = switchsim::estimate_resources(spec);
-    out.iguard_fl_rules = guard->whitelist().total_rules();
+    out.iguard_fl_rules = dep.guard->whitelist().total_rules();
   }
   {
     switchsim::DeploymentSpec spec;
-    spec.fl_rules = &baseline_compiled;
+    spec.fl_rules = &dep.iforest_rules;
     spec.flow_slots = cfg_.pipe.flow_slots;
     spec.blacklist_capacity = cfg_.pipe.blacklist_capacity;
     out.iforest_res = switchsim::estimate_resources(spec);
-    out.iforest_fl_rules = baseline_compiled.total_rules();
+    out.iforest_fl_rules = dep.iforest_rules.total_rules();
   }
   return out;
 }

@@ -73,6 +73,21 @@ struct TestbedOutcome {
   std::size_t iforest_fl_rules = 0;
 };
 
+/// A calibrated deployment plus the replay trace: everything needed to
+/// re-run the same compiled rules under many pipeline / control-plane
+/// configurations (the fault-resilience bench replays one Deployment dozens
+/// of times without re-training).
+struct Deployment {
+  std::unique_ptr<core::IGuard> guard;      // selected iGuard model
+  core::VoteWhitelist iforest_rules;        // selected baseline rules
+  const rules::Quantizer* fl_quantizer = nullptr;  // owned by the lab
+  traffic::Trace test_trace;                // merged benign-test + attack
+  double selected_scale = 1.0;
+
+  switchsim::DeployedModel iguard_model() const;
+  switchsim::DeployedModel iforest_model() const;
+};
+
 class TestbedLab {
  public:
   explicit TestbedLab(TestbedLabConfig cfg);
@@ -84,6 +99,14 @@ class TestbedLab {
   /// Same, but with caller-supplied attack traces (adversarial variants).
   TestbedOutcome run_with_traces(const traffic::Trace& attack_val,
                                  const traffic::Trace& attack_test) const;
+
+  /// Training/selection half of run_with_traces: calibrate the teacher,
+  /// reward-select iGuard and the baseline, and build the replay trace —
+  /// but do not replay. Callers replay the returned Deployment through
+  /// switchsim::Pipeline under whatever PipelineConfig they want.
+  Deployment deploy_with_traces(const traffic::Trace& attack_val,
+                                const traffic::Trace& attack_test) const;
+  Deployment deploy_attack(traffic::AttackType type) const;
 
   const ml::Matrix& train_fl() const { return train_fl_; }
   const TestbedLabConfig& config() const { return cfg_; }

@@ -1,0 +1,128 @@
+#include "switchsim/faults.hpp"
+
+#include <algorithm>
+
+namespace iguard::switchsim {
+
+Controller::Controller(BlacklistTable& blacklist, ControlPlaneConfig cfg,
+                       const FlowStore* store)
+    : blacklist_(&blacklist), cfg_(std::move(cfg)), store_(store), injector_(cfg_.faults) {
+  std::sort(cfg_.faults.crashes.begin(), cfg_.faults.crashes.end(),
+            [](const CrashWindow& a, const CrashWindow& b) { return a.start_s < b.start_s; });
+  // Re-seat the injector on the sorted window list so down_at's early-exit
+  // scan is valid regardless of the order the caller supplied.
+  injector_ = FaultInjector(cfg_.faults);
+}
+
+void Controller::on_digest(const Digest& d, double ts_s) {
+  ++digests_;
+  bytes_ += Digest::kBytes;
+  if (injector_.down_at(ts_s)) {
+    // Nothing is listening: the digest notification goes nowhere.
+    ++stats_.digests_lost_to_crash;
+    return;
+  }
+  if (injector_.drop_digest()) {
+    ++stats_.injected_digest_drops;
+    return;
+  }
+  if (cfg_.channel_capacity > 0 && channel_backlog_ >= cfg_.channel_capacity) {
+    ++stats_.channel_overflow_drops;
+    return;
+  }
+  double delay = cfg_.control_latency_s;
+  if (injector_.delay_digest()) {
+    delay += cfg_.faults.digest_delay_s;
+    ++stats_.delayed_digests;
+  }
+  channel_.push(Event{d, ts_s, ts_s + delay, 0, seq_++});
+  ++channel_backlog_;
+  stats_.backlog_hwm = std::max(stats_.backlog_hwm, channel_backlog_);
+}
+
+double Controller::backoff_delay(std::uint32_t attempt) const {
+  // attempt is the number of failures so far: 1 -> base, 2 -> 2x, ... capped.
+  double d = cfg_.retry_backoff_s;
+  for (std::uint32_t i = 1; i < attempt && d < cfg_.retry_backoff_cap_s; ++i) d *= 2.0;
+  return std::min(d, cfg_.retry_backoff_cap_s);
+}
+
+double Controller::next_recovery_ts() const {
+  const auto& windows = cfg_.faults.crashes;
+  if (next_recovery_ >= windows.size()) return std::numeric_limits<double>::infinity();
+  return windows[next_recovery_].end_s();
+}
+
+void Controller::run_recovery(double ts_s) {
+  ++next_recovery_;
+  ++stats_.crashes;
+  if (store_ == nullptr) return;
+  // Reconcile the blacklist against the flow-label registers still resident
+  // in the data plane: any flow the switch remembers as malicious gets its
+  // rule (re)installed. Recovery installs are exempt from injected install
+  // failures — the reconciliation sweep runs until it succeeds.
+  store_->for_each([&](const IntFlowState& st) {
+    if (st.label != 1) return;
+    if (blacklist_->install(st.ft)) {
+      ++installs_;
+      ++stats_.recovery_installs;
+    }
+  });
+  (void)ts_s;
+}
+
+void Controller::deliver(const Event& e) {
+  if (e.attempt == 0 && channel_backlog_ > 0) --channel_backlog_;
+  if (injector_.down_at(e.due_ts)) {
+    ++stats_.digests_lost_to_crash;
+    return;
+  }
+  if (e.digest.label != 1) return;  // benign digests carry no install
+  ++stats_.install_attempts;
+  if (injector_.fail_install()) {
+    ++stats_.install_failures;
+    const std::uint32_t attempt = e.attempt + 1;
+    if (attempt > cfg_.max_install_retries) {
+      ++stats_.dead_letters;
+      return;
+    }
+    ++stats_.install_retries;
+    channel_.push(Event{e.digest, e.enqueue_ts, e.due_ts + backoff_delay(attempt), attempt,
+                        seq_++});
+    return;
+  }
+  blacklist_->install(e.digest.ft);
+  ++installs_;
+}
+
+void Controller::advance_to(double now_s) {
+  if (now_s < clock_) now_s = clock_;
+  while (true) {
+    const double ev_ts =
+        channel_.empty() ? std::numeric_limits<double>::infinity() : channel_.top().due_ts;
+    const double rec_ts = next_recovery_ts();
+    const double t = std::min(ev_ts, rec_ts);
+    if (t > now_s) break;
+    clock_ = t;
+    if (rec_ts <= ev_ts) {
+      // Restart first: an event due exactly at the window's end is handled
+      // by the freshly recovered controller.
+      run_recovery(rec_ts);
+    } else {
+      const Event e = channel_.top();
+      channel_.pop();
+      deliver(e);
+    }
+  }
+  clock_ = now_s;
+}
+
+void Controller::flush() {
+  while (!channel_.empty() ||
+         next_recovery_ts() < std::numeric_limits<double>::infinity()) {
+    advance_to(std::min(channel_.empty() ? next_recovery_ts() : channel_.top().due_ts,
+                        next_recovery_ts()));
+  }
+}
+
+}  // namespace iguard::switchsim

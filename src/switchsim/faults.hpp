@@ -1,0 +1,214 @@
+// Fault-aware asynchronous control plane. The data plane no longer installs
+// blacklist rules in lockstep with digest generation: digests enter a
+// capacity-bounded channel stamped with the triggering packet's timestamp,
+// and the controller applies them on an event clock — an install becomes
+// visible at digest_ts + control_latency, so the pipeline keeps admitting
+// packets of an already-classified malicious flow during the install window
+// (tracked as FaultStats::leaked_packets). On top of the latency model sits
+// a deterministic, splitmix64-seeded fault injector that can drop digests,
+// delay them, fail individual installs (retried with capped exponential
+// backoff, then dead-lettered), and crash the controller for configured
+// windows; on restart the controller reconciles the blacklist from the
+// flow-label registers still resident in the FlowStore (App. B.2 is the
+// budget this channel lives under; §3.3.2 is why install churn matters).
+//
+// With every fault disabled and control_latency == 0 the observable pipeline
+// behaviour is bit-identical to the old synchronous "digest -> install"
+// model: a rule installed by packet i's digest has always only affected
+// packets after i, and the event clock preserves exactly that order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "switchsim/registers.hpp"
+#include "switchsim/tables.hpp"
+
+namespace iguard::switchsim {
+
+/// splitmix64 (Steele et al.) — tiny, seedable, bit-identical everywhere;
+/// each fault decision type owns an independent stream so enabling one fault
+/// never perturbs another's draw sequence.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Bernoulli(p) without floating-point accumulation error: compare one
+  /// draw against p scaled to the full 64-bit range.
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return static_cast<double>(next()) <
+           p * static_cast<double>(std::numeric_limits<std::uint64_t>::max());
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// One controller outage: the control plane is unreachable in
+/// [start_s, start_s + duration_s). Digests sent or delivered inside the
+/// window are lost; at the window's end the controller restarts and runs a
+/// recovery sweep over the FlowStore.
+struct CrashWindow {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+
+  double end_s() const { return start_s + duration_s; }
+};
+
+/// Deterministic fault programme. Everything is off by default; a
+/// default-constructed config is the perfect-channel model.
+struct FaultConfig {
+  std::uint64_t seed = 0x14A7u;
+  double digest_loss_rate = 0.0;     // P(digest silently dropped in flight)
+  double digest_delay_rate = 0.0;    // P(digest held back by digest_delay_s)
+  double digest_delay_s = 0.0;       // extra in-flight delay when held back
+  double install_failure_rate = 0.0; // P(one install attempt fails)
+  std::vector<CrashWindow> crashes;  // must be sorted by start_s
+
+  bool any_enabled() const {
+    return digest_loss_rate > 0.0 || digest_delay_rate > 0.0 ||
+           install_failure_rate > 0.0 || !crashes.empty();
+  }
+};
+
+/// Seeded source of fault decisions, bit-identical across runs for a given
+/// (seed, call sequence). Streams are independent per decision type.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& cfg)
+      : cfg_(cfg),
+        drop_(cfg.seed ^ 0xD1E57D20Full),
+        delay_(cfg.seed ^ 0x0DE1A7EDull),
+        install_(cfg.seed ^ 0x1357A11Full) {}
+
+  bool drop_digest() { return drop_.chance(cfg_.digest_loss_rate); }
+  bool delay_digest() { return delay_.chance(cfg_.digest_delay_rate); }
+  bool fail_install() { return install_.chance(cfg_.install_failure_rate); }
+
+  /// True while ts falls inside any configured crash window.
+  bool down_at(double ts_s) const {
+    for (const auto& w : cfg_.crashes) {
+      if (ts_s >= w.start_s && ts_s < w.end_s()) return true;
+      if (w.start_s > ts_s) break;  // windows sorted by start
+    }
+    return false;
+  }
+
+  const FaultConfig& config() const { return cfg_; }
+
+ private:
+  FaultConfig cfg_;
+  SplitMix64 drop_, delay_, install_;
+};
+
+/// Control-channel + controller behaviour knobs. Defaults reproduce the old
+/// lockstep model exactly (zero latency, unbounded channel, no faults).
+struct ControlPlaneConfig {
+  double control_latency_s = 0.0;   // digest_ts -> install visibility
+  std::size_t channel_capacity = 0; // pending digests; 0 = unbounded
+  std::size_t max_install_retries = 5;
+  double retry_backoff_s = 0.001;      // first retry delay
+  double retry_backoff_cap_s = 0.100;  // exponential backoff ceiling
+  FaultConfig faults;
+};
+
+/// Degradation accounting for one run. Channel-side counters live in the
+/// controller; leaked_packets is counted by the pipeline (it is the data
+/// plane that admits the packet).
+struct FaultStats {
+  std::size_t channel_overflow_drops = 0;  // bounded channel was full
+  std::size_t injected_digest_drops = 0;   // FaultInjector losses
+  std::size_t delayed_digests = 0;
+  std::size_t backlog_hwm = 0;             // channel high-water mark
+  std::size_t install_attempts = 0;
+  std::size_t install_failures = 0;        // failed attempts (pre-retry)
+  std::size_t install_retries = 0;         // attempts re-scheduled
+  std::size_t dead_letters = 0;            // installs abandoned after retries
+  std::size_t crashes = 0;                 // restarts performed
+  std::size_t digests_lost_to_crash = 0;
+  std::size_t recovery_installs = 0;       // rules rebuilt from FlowStore labels
+  /// Packets the data plane admitted (verdict 0) after their flow had
+  /// already been classified malicious — detection happened, enforcement
+  /// had not landed yet.
+  std::size_t leaked_packets = 0;
+};
+
+/// Event-clocked, fault-aware controller. The data plane enqueues digests
+/// with `on_digest(d, ts)`; `advance_to(now)` delivers everything due by
+/// `now` in timestamp order, interleaved with crash-window restarts. The
+/// legacy counters (digests/bytes/installs) keep their lockstep meaning:
+/// digests and bytes count at the channel mouth, installs count applied
+/// blacklist writes.
+class Controller {
+ public:
+  explicit Controller(BlacklistTable& blacklist, ControlPlaneConfig cfg = {},
+                      const FlowStore* store = nullptr);
+
+  /// Data-plane side: submit one digest stamped with the triggering
+  /// packet's timestamp. May drop (channel overflow, injected loss,
+  /// controller down) — all counted.
+  void on_digest(const Digest& d, double ts_s);
+
+  /// Deliver every queued event due at or before now_s, processing crash
+  /// restarts (and their recovery sweeps) in time order along the way.
+  void advance_to(double now_s);
+
+  /// End-of-trace drain: deliver everything still in flight, including
+  /// retries, and run any remaining restart recoveries.
+  void flush();
+
+  std::size_t digests_received() const { return digests_; }
+  std::size_t bytes_received() const { return bytes_; }
+  std::size_t rules_installed() const { return installs_; }
+  std::size_t backlog() const { return channel_backlog_; }
+  const FaultStats& fault_stats() const { return stats_; }
+  const ControlPlaneConfig& config() const { return cfg_; }
+
+ private:
+  struct Event {
+    Digest digest;
+    double enqueue_ts = 0.0;
+    double due_ts = 0.0;
+    std::uint32_t attempt = 0;   // 0 = first delivery, >0 = install retry
+    std::uint64_t seq = 0;       // FIFO tiebreak for equal due times
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.due_ts != b.due_ts ? a.due_ts > b.due_ts : a.seq > b.seq;
+    }
+  };
+
+  /// End of the next crash window whose recovery has not run yet.
+  double next_recovery_ts() const;
+  void run_recovery(double ts_s);
+  void deliver(const Event& e);
+  double backoff_delay(std::uint32_t attempt) const;
+
+  BlacklistTable* blacklist_;
+  ControlPlaneConfig cfg_;
+  const FlowStore* store_;
+  FaultInjector injector_;
+  std::priority_queue<Event, std::vector<Event>, Later> channel_;
+  std::size_t channel_backlog_ = 0;  // attempt-0 events in flight
+  std::size_t next_recovery_ = 0;    // index into cfg_.faults.crashes
+  std::uint64_t seq_ = 0;
+  double clock_ = 0.0;
+  std::size_t digests_ = 0;
+  std::size_t bytes_ = 0;
+  std::size_t installs_ = 0;
+  FaultStats stats_;
+};
+
+}  // namespace iguard::switchsim

@@ -26,6 +26,7 @@ void IntFlowState::update(const traffic::Packet& p, std::uint64_t flow_sig) {
   const std::uint32_t size = p.length;
   if (pkt_count == 0) {
     sig = flow_sig;
+    ft = p.ft;
     first_ts_us = now;
     min_size = max_size = size;
   } else {
@@ -52,9 +53,11 @@ void IntFlowState::update(const traffic::Packet& p, std::uint64_t flow_sig) {
 void IntFlowState::clear_features() {
   const std::int8_t keep_label = label;
   const std::uint64_t keep_sig = sig;
+  const traffic::FiveTuple keep_ft = ft;
   *this = IntFlowState{};
   label = keep_label;
   sig = keep_sig;
+  ft = keep_ft;
 }
 
 std::array<double, kSwitchFlFeatures> IntFlowState::finalize() const {

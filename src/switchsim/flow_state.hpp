@@ -21,6 +21,10 @@ constexpr std::size_t kSwitchFlFeatures = 13;
 
 struct IntFlowState {
   std::uint64_t sig = 0;  // bi-hash flow signature; 0 = empty slot
+  /// Flow-key registers: the 5-tuple the slot was claimed with, as carried
+  /// in the digest. Lets a restarted controller rebuild blacklist rules
+  /// from resident state (faults.hpp recovery sweep).
+  traffic::FiveTuple ft;
   std::uint32_t pkt_count = 0;
   std::uint64_t total_size = 0;
   std::uint64_t sum_sq_size = 0;

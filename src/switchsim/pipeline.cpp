@@ -13,7 +13,7 @@ Pipeline::Pipeline(const PipelineConfig& cfg, const DeployedModel& model)
       model_(model),
       store_(cfg.flow_slots),
       blacklist_(cfg.blacklist_capacity, cfg.eviction),
-      controller_(blacklist_) {
+      controller_(blacklist_, cfg.control, &store_) {
   if (model_.fl_tables == nullptr || model_.fl_quantizer == nullptr) {
     throw std::invalid_argument("Pipeline: FL rules are mandatory");
   }
@@ -35,8 +35,11 @@ void Pipeline::finalize_flow(const traffic::Packet& p, IntFlowState& st, SimStat
   const int label = classify_fl(st);
   st.label = static_cast<std::int8_t>(label);
   ++stats.flows_classified;
-  // Digest (5-tuple + label) regardless of match outcome (§2, step 10a).
-  controller_.on_digest({p.ft, label});
+  // Digest (5-tuple + label) regardless of match outcome (§2, step 10a),
+  // stamped with the triggering packet's timestamp: the install becomes
+  // visible only once the control plane catches up (faults.hpp).
+  controller_.on_digest({p.ft, label}, p.ts);
+  if (label == 1) malicious_classified_.insert(traffic::bihash(p.ft, 0xB1AC));
   if (label == 0) {
     // Egress mirror of benign FL features to the CPU for whitelist updates.
     ++stats.benign_feature_mirrors;
@@ -49,6 +52,10 @@ void Pipeline::finalize_flow(const traffic::Packet& p, IntFlowState& st, SimStat
 }
 
 int Pipeline::process(const traffic::Packet& p, SimStats& stats) {
+  // Apply control-plane work due by this packet's time before the lookup:
+  // with zero latency and no faults this is exactly the lockstep model (an
+  // install triggered by packet i has always only affected packets > i).
+  controller_.advance_to(p.ts);
   ++stats.packets;
   stats.truth.push_back(p.malicious ? 1 : 0);
   int verdict = 0;
@@ -113,7 +120,13 @@ int Pipeline::process(const traffic::Packet& p, SimStats& stats) {
   }
 
   stats.pred.push_back(static_cast<std::uint8_t>(verdict));
-  if (verdict == 1) ++stats.dropped;
+  if (verdict == 1) {
+    ++stats.dropped;
+  } else if (malicious_classified_.contains(traffic::bihash(p.ft, 0xB1AC))) {
+    // Detection already happened for this flow but enforcement has not
+    // landed (install in flight, lost, or the flow label was evicted).
+    ++stats.faults.leaked_packets;
+  }
   return verdict;
 }
 
@@ -122,6 +135,10 @@ SimStats Pipeline::run(const traffic::Trace& trace) {
   stats.pred.reserve(trace.size());
   stats.truth.reserve(trace.size());
   for (const auto& p : trace.packets) process(p, stats);
+  controller_.flush();
+  const std::size_t leaked = stats.faults.leaked_packets;
+  stats.faults = controller_.fault_stats();
+  stats.faults.leaked_packets = leaked;
   return stats;
 }
 

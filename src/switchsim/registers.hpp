@@ -38,6 +38,16 @@ class FlowStore {
 
   void clear_slot(IntFlowState& st) { st = IntFlowState{}; }
 
+  /// Visit every occupied slot (table 1 then table 2, slot order) — the
+  /// register sweep a restarted controller performs to rebuild its view.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const auto& s : table1_)
+      if (!s.empty()) f(s);
+    for (const auto& s : table2_)
+      if (!s.empty()) f(s);
+  }
+
   std::size_t slots_per_table() const { return table1_.size(); }
   std::size_t occupied() const;
 

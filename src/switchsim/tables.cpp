@@ -1,7 +1,5 @@
 #include "switchsim/tables.hpp"
 
-#include <algorithm>
-
 namespace iguard::switchsim {
 
 bool BlacklistTable::contains(const traffic::FiveTuple& ft) {
@@ -12,18 +10,22 @@ bool BlacklistTable::contains(const traffic::FiveTuple& ft) {
 }
 
 void BlacklistTable::touch(std::uint64_t k) {
-  entries_[k] = ++clock_;
+  auto& stamp = entries_[k];
+  by_stamp_.erase(stamp);
+  stamp = ++clock_;
+  by_stamp_.emplace(stamp, k);
 }
 
-void BlacklistTable::install(const traffic::FiveTuple& ft) {
-  if (capacity_ == 0) return;
+bool BlacklistTable::install(const traffic::FiveTuple& ft) {
+  if (capacity_ == 0) return false;
   const std::uint64_t k = key(ft);
   if (entries_.contains(k)) {
     if (policy_ == EvictionPolicy::kLru) touch(k);
-    return;
+    return false;
   }
   if (entries_.size() >= capacity_) {
     if (policy_ == EvictionPolicy::kFifo) {
+      // Lazy compaction: erase() leaves withdrawn keys in the queue.
       while (!order_.empty() && !entries_.contains(order_.front())) order_.pop_front();
       if (!order_.empty()) {
         entries_.erase(order_.front());
@@ -31,30 +33,31 @@ void BlacklistTable::install(const traffic::FiveTuple& ft) {
         ++evictions_;
       }
     } else {
-      auto victim = std::min_element(entries_.begin(), entries_.end(),
-                                     [](const auto& a, const auto& b) {
-                                       return a.second < b.second;
-                                     });
-      if (victim != entries_.end()) {
-        entries_.erase(victim);
-        ++evictions_;
-      }
+      const auto victim = by_stamp_.begin();
+      entries_.erase(victim->second);
+      by_stamp_.erase(victim);
+      ++evictions_;
     }
   }
-  entries_[k] = ++clock_;
-  // The install-order deque exists only for FIFO eviction; LRU finds its
-  // victim by stamp. Pushing under LRU would grow the deque one entry per
-  // install for the lifetime of the table without ever draining it.
-  if (policy_ == EvictionPolicy::kFifo) order_.push_back(k);
+  const std::uint64_t stamp = ++clock_;
+  entries_.emplace(k, stamp);
+  // The install-order deque exists only for FIFO eviction; the stamp index
+  // only for LRU. Maintaining the idle structure would grow it one entry
+  // per install for the lifetime of the table without ever draining it.
+  if (policy_ == EvictionPolicy::kFifo) {
+    order_.push_back(k);
+  } else {
+    by_stamp_.emplace(stamp, k);
+  }
+  return true;
 }
 
-void Controller::on_digest(const Digest& d) {
-  ++digests_;
-  bytes_ += Digest::kBytes;
-  if (d.label == 1) {
-    blacklist_->install(d.ft);
-    ++installs_;
-  }
+bool BlacklistTable::erase(const traffic::FiveTuple& ft) {
+  const auto it = entries_.find(key(ft));
+  if (it == entries_.end()) return false;
+  if (policy_ == EvictionPolicy::kLru) by_stamp_.erase(it->second);
+  entries_.erase(it);
+  return true;
 }
 
 }  // namespace iguard::switchsim

@@ -1,12 +1,15 @@
-// Blacklist exact-match table and the control-plane controller. The
-// controller receives digests from the data plane whenever a flow's class is
-// determined (13 B five-tuple + 1-bit label, App. B.2), installs a blacklist
-// rule for malicious flows, and evicts old rules FIFO or LRU when the table
-// is full (§3.3.2).
+// Blacklist exact-match table. The control plane (see faults.hpp) receives
+// digests from the data plane whenever a flow's class is determined (13 B
+// five-tuple + 1-bit label, App. B.2), installs a blacklist rule for
+// malicious flows, and evicts old rules FIFO or LRU when the table is full
+// (§3.3.2). LRU eviction is O(log n) via a stamp index — a sustained-DDoS
+// blacklist churns one eviction per install, exactly the regime a per-install
+// linear scan cannot afford.
 #pragma once
 
 #include <cstddef>
 #include <deque>
+#include <map>
 #include <unordered_map>
 
 #include "trafficgen/packet.hpp"
@@ -25,7 +28,14 @@ class BlacklistTable {
   bool contains(const traffic::FiveTuple& ft);
 
   /// Install a rule; evicts the oldest/least-recently-used entry when full.
-  void install(const traffic::FiveTuple& ft);
+  /// Returns true when a new entry was inserted (false = duplicate; LRU
+  /// refreshes recency, FIFO keeps the original install position).
+  bool install(const traffic::FiveTuple& ft);
+
+  /// Remove a rule (operator withdrawal / reconciliation). Returns true if
+  /// the entry existed. FIFO mode leaves the stale key in the order queue;
+  /// install() compacts it away lazily.
+  bool erase(const traffic::FiveTuple& ft);
 
   std::size_t size() const { return entries_.size(); }
   std::size_t capacity() const { return capacity_; }
@@ -41,7 +51,8 @@ class BlacklistTable {
   std::size_t capacity_;
   EvictionPolicy policy_;
   std::unordered_map<std::uint64_t, std::uint64_t> entries_;  // key -> stamp
-  std::deque<std::uint64_t> order_;                           // install/use order
+  std::deque<std::uint64_t> order_;                           // FIFO install order
+  std::map<std::uint64_t, std::uint64_t> by_stamp_;           // LRU: stamp -> key
   std::uint64_t clock_ = 0;
   std::size_t evictions_ = 0;
 };
@@ -53,24 +64,6 @@ struct Digest {
 
   /// Wire size: 13 B 5-tuple + 1 B carrying the 1-bit label (App. B.2).
   static constexpr std::size_t kBytes = 14;
-};
-
-/// Control-plane counterpart: consumes digests, maintains the blacklist.
-class Controller {
- public:
-  explicit Controller(BlacklistTable& blacklist) : blacklist_(&blacklist) {}
-
-  void on_digest(const Digest& d);
-
-  std::size_t digests_received() const { return digests_; }
-  std::size_t bytes_received() const { return bytes_; }
-  std::size_t rules_installed() const { return installs_; }
-
- private:
-  BlacklistTable* blacklist_;
-  std::size_t digests_ = 0;
-  std::size_t bytes_ = 0;
-  std::size_t installs_ = 0;
 };
 
 }  // namespace iguard::switchsim

@@ -111,6 +111,25 @@ TEST(WhitelistUpdater, MaxUpdatesIsRespected) {
   EXPECT_EQ(wl.tables[0].rules()[0].fields[0].lo, before.fields[0].lo);
 }
 
+TEST(WhitelistUpdater, BudgetExhaustionIsObservable) {
+  // Operators must be able to see the safety valve closing: once
+  // max_updates extensions have been applied, budget_exhausted() flips and
+  // every further would-be extension is tallied, not silently swallowed.
+  auto wl = make_whitelist();
+  core::WhitelistUpdater upd(wl, {.max_extension_per_field = 1000, .max_updates = 1});
+  EXPECT_FALSE(upd.budget_exhausted());
+  EXPECT_EQ(upd.rejected_by_budget(), 0u);
+  const std::uint32_t k1[2] = {90, 90};
+  EXPECT_EQ(upd.observe_benign(k1), 1u);  // spends the whole budget
+  EXPECT_TRUE(upd.budget_exhausted());
+  const std::uint32_t k2[2] = {5, 5};  // misses all 3 tables
+  EXPECT_EQ(upd.observe_benign(k2), 0u);
+  EXPECT_EQ(upd.rejected_by_budget(), 3u);  // one refusal per missing table
+  EXPECT_EQ(upd.observe_benign(k2), 0u);
+  EXPECT_EQ(upd.rejected_by_budget(), 6u);  // keeps counting while frozen
+  EXPECT_EQ(upd.extensions_applied(), 1u);
+}
+
 TEST(WhitelistUpdater, RepeatedObservationsConverge) {
   auto wl = make_whitelist();
   core::WhitelistUpdater upd(wl, {.max_extension_per_field = 15, .max_updates = 100});
