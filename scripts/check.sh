@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Full verification sweep: build + ctest plain, then under each sanitizer.
-# Usage: scripts/check.sh [--fast]
-#   --fast   plain build/test only (skip the sanitizer matrix)
+# Usage: scripts/check.sh [--fast|--bench-smoke]
+#   --fast         plain build/test only (skip the sanitizer matrix)
+#   --bench-smoke  Release build + bench_throughput --smoke: fails if the
+#                  compiled match engine diverges from the linear scan, if
+#                  sharded replay is non-deterministic, if the steady-state
+#                  packet path allocates, or if the JSON artifact is malformed
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,6 +22,41 @@ run_suite() {
   cmake --build "${dir}" -j "${JOBS}"
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
 }
+
+bench_smoke() {
+  local dir="build-check-bench"
+  echo "=== bench-smoke (Release) ==="
+  cmake -B "${dir}" -S . "${GENERATOR_ARGS[@]}" \
+    -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "${dir}" -j "${JOBS}" --target bench_throughput
+  local out="${dir}/BENCH_pipeline_smoke.json"
+  # The bench itself exits non-zero on engine divergence, non-deterministic
+  # sharding, or steady-state allocations — the drift gates.
+  "${dir}/bench/bench_throughput" --smoke --out "${out}"
+  # Artifact sanity: well-formed JSON with the verdict fields present and
+  # the two engines in agreement.
+  python3 - "${out}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    j = json.load(f)
+for key in ("configs", "speedup_compiled_vs_linear",
+            "steady_state_allocs_per_packet", "compiled_equals_linear",
+            "sharded_deterministic"):
+    assert key in j, f"BENCH_pipeline json missing {key!r}"
+assert j["compiled_equals_linear"] is True, "engine verdicts diverge"
+assert j["sharded_deterministic"] is True, "sharded replay non-deterministic"
+assert j["steady_state_allocs_per_packet"] == 0, "steady-state path allocates"
+engines = {c["engine"] for c in j["configs"]}
+assert engines == {"linear", "compiled"}, f"unexpected engines {engines}"
+print("bench-smoke artifact OK:", sys.argv[1])
+EOF
+}
+
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+  bench_smoke
+  echo "=== bench smoke passed ==="
+  exit 0
+fi
 
 run_suite plain ""
 if [[ "${1:-}" != "--fast" ]]; then

@@ -402,6 +402,26 @@ double VoteWhitelist::malicious_vote_fraction(std::span<const std::uint32_t> key
   return static_cast<double>(tree_count - benign) / static_cast<double>(tree_count);
 }
 
+CompiledVoteWhitelist::CompiledVoteWhitelist(const VoteWhitelist& wl)
+    : tree_count(wl.tree_count) {
+  tables.reserve(wl.tables.size());
+  for (const auto& t : wl.tables) tables.emplace_back(t);
+}
+
+int CompiledVoteWhitelist::classify(std::span<const std::uint32_t> key) const {
+  std::size_t benign = 0;
+  for (const auto& t : tables) benign += t.matches_any(key) ? 1 : 0;
+  // Strict-majority-malicious (ties benign), matching VoteWhitelist.
+  return 2 * (tree_count - benign) > tree_count ? 1 : 0;
+}
+
+double CompiledVoteWhitelist::malicious_vote_fraction(std::span<const std::uint32_t> key) const {
+  if (tree_count == 0) return 1.0;
+  std::size_t benign = 0;
+  for (const auto& t : tables) benign += t.matches_any(key) ? 1 : 0;
+  return static_cast<double>(tree_count - benign) / static_cast<double>(tree_count);
+}
+
 std::size_t VoteWhitelist::total_rules() const {
   std::size_t n = 0;
   for (const auto& t : tables) n += t.size();

@@ -24,6 +24,7 @@
 #include "core/guided_iforest.hpp"
 #include "ml/iforest.hpp"
 #include "ml/rng.hpp"
+#include "rules/compiled_table.hpp"
 #include "rules/quantize.hpp"
 #include "rules/rule_table.hpp"
 #include "rules/range_rule.hpp"
@@ -117,6 +118,24 @@ struct VoteWhitelist {
   }
   /// All rules concatenated (resource accounting).
   std::vector<rules::RangeRule> flattened() const;
+};
+
+/// VoteWhitelist pre-compiled through the interval-bitmap match engine
+/// (rules/compiled_table.hpp): same vote semantics, but each per-tree lookup
+/// is O(fields log rules) instead of O(rules × fields) and performs no heap
+/// allocation — the engine the pipeline simulator runs at replay time.
+struct CompiledVoteWhitelist {
+  std::vector<rules::CompiledRuleTable> tables;  // one per tree
+  std::size_t tree_count = 0;
+
+  CompiledVoteWhitelist() = default;
+  explicit CompiledVoteWhitelist(const VoteWhitelist& wl);
+
+  /// 0 = benign (majority of tables match), 1 = malicious — bit-identical
+  /// to VoteWhitelist::classify.
+  int classify(std::span<const std::uint32_t> key) const;
+  /// Fraction of tables *not* matching (malicious vote share).
+  double malicious_vote_fraction(std::span<const std::uint32_t> key) const;
 };
 
 /// Per-tree compilation of iGuard's distilled forest: tree t's table holds

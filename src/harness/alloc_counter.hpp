@@ -1,0 +1,83 @@
+// Heap-allocation probe for the zero-allocation packet-path invariant
+// (DESIGN.md §4c): replaces the global operator new/delete with counting
+// wrappers so tests and bench_throughput can assert that steady-state
+// Pipeline::process performs no heap allocation.
+//
+// Include this header in EXACTLY ONE translation unit of a binary —
+// replacement allocation functions must have a single non-inline definition
+// per program. Under sanitizer builds (IGUARD_SANITIZED) the sanitizer
+// runtime owns the allocator, so the replacement is compiled out and
+// alloc_counting_active() reports false; callers skip the strict assertion.
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace iguard::harness {
+
+inline std::atomic<std::size_t> g_alloc_count{0};
+
+/// Global operator-new invocations so far (monotonic; diff around a region).
+inline std::size_t alloc_count() { return g_alloc_count.load(std::memory_order_relaxed); }
+
+constexpr bool alloc_counting_active() {
+#if defined(IGUARD_SANITIZED)
+  return false;
+#else
+  return true;
+#endif
+}
+
+}  // namespace iguard::harness
+
+#if !defined(IGUARD_SANITIZED)
+
+namespace iguard::harness::detail {
+
+inline void* counted_alloc(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n != 0 ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+inline void* counted_alloc_aligned(std::size_t n, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, n != 0 ? n : align) != 0) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace iguard::harness::detail
+
+void* operator new(std::size_t n) { return iguard::harness::detail::counted_alloc(n); }
+void* operator new[](std::size_t n) { return iguard::harness::detail::counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  iguard::harness::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n != 0 ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  iguard::harness::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n != 0 ? n : 1);
+}
+void* operator new(std::size_t n, std::align_val_t a) {
+  return iguard::harness::detail::counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return iguard::harness::detail::counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+#endif  // !IGUARD_SANITIZED

@@ -39,10 +39,15 @@ std::uint32_t Quantizer::quantize_value(std::size_t field, double v) const {
 }
 
 std::vector<std::uint32_t> Quantizer::quantize(std::span<const double> x) const {
-  if (x.size() != lo_.size()) throw std::invalid_argument("Quantizer: width mismatch");
   std::vector<std::uint32_t> q(x.size());
-  for (std::size_t j = 0; j < x.size(); ++j) q[j] = quantize_value(j, x[j]);
+  quantize_into(x, q);
   return q;
+}
+
+void Quantizer::quantize_into(std::span<const double> x, std::span<std::uint32_t> out) const {
+  if (x.size() != lo_.size()) throw std::invalid_argument("Quantizer: width mismatch");
+  if (out.size() < x.size()) throw std::invalid_argument("Quantizer: output buffer too small");
+  for (std::size_t j = 0; j < x.size(); ++j) out[j] = quantize_value(j, x[j]);
 }
 
 double Quantizer::dequantize(std::size_t field, std::uint32_t q) const {

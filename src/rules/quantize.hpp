@@ -31,6 +31,12 @@ class Quantizer {
 
   /// Quantise one feature vector (clamping out-of-span values).
   std::vector<std::uint32_t> quantize(std::span<const double> x) const;
+
+  /// Allocation-free variant: write the quantised levels into the first
+  /// x.size() slots of `out` (which must be at least that large). The
+  /// pipeline's per-packet path uses this with stack buffers.
+  void quantize_into(std::span<const double> x, std::span<std::uint32_t> out) const;
+
   std::uint32_t quantize_value(std::size_t field, double v) const;
 
   /// Inverse map of a quantised level to the centre of its bucket.

@@ -6,6 +6,9 @@ namespace iguard::switchsim {
 
 namespace {
 void count(SimStats& s, Path p) { ++s.path_count[static_cast<std::size_t>(p)]; }
+
+/// PL whitelist width: {dst_port, proto, length, TTL}.
+constexpr std::size_t kPlFeatures = 4;
 }  // namespace
 
 Pipeline::Pipeline(const PipelineConfig& cfg, const DeployedModel& model)
@@ -17,21 +20,43 @@ Pipeline::Pipeline(const PipelineConfig& cfg, const DeployedModel& model)
   if (model_.fl_tables == nullptr || model_.fl_quantizer == nullptr) {
     throw std::invalid_argument("Pipeline: FL rules are mandatory");
   }
+  if (cfg_.match_engine == MatchEngine::kCompiled) {
+    if (model_.fl_compiled != nullptr) {
+      fl_engine_ = model_.fl_compiled;
+    } else {
+      fl_owned_ = core::CompiledVoteWhitelist(*model_.fl_tables);
+      fl_engine_ = &fl_owned_;
+    }
+    if (model_.pl_compiled != nullptr) {
+      pl_engine_ = model_.pl_compiled;
+    } else if (model_.pl_tables != nullptr) {
+      pl_owned_ = core::CompiledVoteWhitelist(*model_.pl_tables);
+      pl_engine_ = &pl_owned_;
+    }
+  }
 }
 
 int Pipeline::classify_pl(const traffic::Packet& p) const {
   if (model_.pl_tables == nullptr || model_.pl_quantizer == nullptr) return 0;
-  const double f[4] = {static_cast<double>(p.ft.dst_port), static_cast<double>(p.ft.proto),
-                       static_cast<double>(p.length), static_cast<double>(p.ttl)};
-  return model_.pl_tables->classify(model_.pl_quantizer->quantize(f));
+  const double f[kPlFeatures] = {static_cast<double>(p.ft.dst_port),
+                                 static_cast<double>(p.ft.proto),
+                                 static_cast<double>(p.length), static_cast<double>(p.ttl)};
+  std::array<std::uint32_t, kPlFeatures> key;
+  model_.pl_quantizer->quantize_into(f, key);
+  return cfg_.match_engine == MatchEngine::kCompiled ? pl_engine_->classify(key)
+                                                     : model_.pl_tables->classify(key);
 }
 
 int Pipeline::classify_fl(const IntFlowState& st) const {
   const auto f = st.finalize();
-  return model_.fl_tables->classify(model_.fl_quantizer->quantize(f));
+  std::array<std::uint32_t, kSwitchFlFeatures> key;
+  model_.fl_quantizer->quantize_into(f, key);
+  return cfg_.match_engine == MatchEngine::kCompiled ? fl_engine_->classify(key)
+                                                     : model_.fl_tables->classify(key);
 }
 
-void Pipeline::finalize_flow(const traffic::Packet& p, IntFlowState& st, SimStats& stats) {
+void Pipeline::finalize_flow(const traffic::Packet& p, std::uint64_t flow_key, IntFlowState& st,
+                             SimStats& stats) {
   const int label = classify_fl(st);
   st.label = static_cast<std::int8_t>(label);
   ++stats.flows_classified;
@@ -39,7 +64,7 @@ void Pipeline::finalize_flow(const traffic::Packet& p, IntFlowState& st, SimStat
   // stamped with the triggering packet's timestamp: the install becomes
   // visible only once the control plane catches up (faults.hpp).
   controller_.on_digest({p.ft, label}, p.ts);
-  if (label == 1) malicious_classified_.insert(traffic::bihash(p.ft, 0xB1AC));
+  if (label == 1) malicious_classified_.insert(flow_key);
   if (label == 0) {
     // Egress mirror of benign FL features to the CPU for whitelist updates.
     ++stats.benign_feature_mirrors;
@@ -57,10 +82,14 @@ int Pipeline::process(const traffic::Packet& p, SimStats& stats) {
   // install triggered by packet i has always only affected packets > i).
   controller_.advance_to(p.ts);
   ++stats.packets;
-  stats.truth.push_back(p.malicious ? 1 : 0);
+  const std::uint8_t truth = p.malicious ? 1 : 0;
+  if (cfg_.record_labels) stats.truth.push_back(truth);
+  // The one bidirectional flow key this packet needs: blacklist lookup,
+  // malicious-classified marking, and the leak check all share it.
+  const std::uint64_t flow_key = BlacklistTable::flow_key(p.ft);
   int verdict = 0;
 
-  if (blacklist_.contains(p.ft)) {
+  if (blacklist_.contains_key(flow_key)) {
     // --- red -----------------------------------------------------------
     count(stats, Path::kRed);
     ++stats.blacklist_hits;
@@ -99,7 +128,7 @@ int Pipeline::process(const traffic::Packet& p, SimStats& stats) {
           // the same features the FL rules were trained on. The packet
           // itself still gets a PL verdict (its FL epoch just began).
           count(stats, Path::kBlue);
-          finalize_flow(p, st, stats);
+          finalize_flow(p, flow_key, st, stats);
           st.update(p, store_.signature(p.ft));
           verdict = classify_pl(p);
         } else {
@@ -107,7 +136,7 @@ int Pipeline::process(const traffic::Packet& p, SimStats& stats) {
           if (cfg_.packet_threshold_n > 0 && st.pkt_count >= cfg_.packet_threshold_n) {
             // --- blue (n-th packet) ----------------------------------------
             count(stats, Path::kBlue);
-            finalize_flow(p, st, stats);
+            finalize_flow(p, flow_key, st, stats);
             verdict = st.label;
           } else {
             // --- brown -----------------------------------------------------
@@ -119,21 +148,27 @@ int Pipeline::process(const traffic::Packet& p, SimStats& stats) {
     }
   }
 
-  stats.pred.push_back(static_cast<std::uint8_t>(verdict));
+  if (cfg_.record_labels) stats.pred.push_back(static_cast<std::uint8_t>(verdict));
   if (verdict == 1) {
+    ++(truth ? stats.tp : stats.fp);
     ++stats.dropped;
-  } else if (malicious_classified_.contains(traffic::bihash(p.ft, 0xB1AC))) {
-    // Detection already happened for this flow but enforcement has not
-    // landed (install in flight, lost, or the flow label was evicted).
-    ++stats.faults.leaked_packets;
+  } else {
+    ++(truth ? stats.fn : stats.tn);
+    if (malicious_classified_.contains(flow_key)) {
+      // Detection already happened for this flow but enforcement has not
+      // landed (install in flight, lost, or the flow label was evicted).
+      ++stats.faults.leaked_packets;
+    }
   }
   return verdict;
 }
 
 SimStats Pipeline::run(const traffic::Trace& trace) {
   SimStats stats;
-  stats.pred.reserve(trace.size());
-  stats.truth.reserve(trace.size());
+  if (cfg_.record_labels) {
+    stats.pred.reserve(trace.size());
+    stats.truth.reserve(trace.size());
+  }
   for (const auto& p : trace.packets) process(p, stats);
   controller_.flush();
   const std::size_t leaked = stats.faults.leaked_packets;

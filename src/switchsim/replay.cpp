@@ -1,0 +1,100 @@
+#include "switchsim/replay.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ml/parallel.hpp"
+
+namespace iguard::switchsim {
+
+std::size_t shard_of(const traffic::FiveTuple& ft, std::size_t shards, std::uint64_t seed) {
+  if (shards <= 1) return 0;
+  return static_cast<std::size_t>(traffic::bihash(ft, seed) % shards);
+}
+
+std::vector<traffic::Trace> shard_trace(const traffic::Trace& trace, const ReplayConfig& cfg) {
+  const std::size_t k = std::max<std::size_t>(cfg.shards, 1);
+  std::vector<traffic::Trace> parts(k);
+  for (const auto& p : trace.packets) {
+    parts[shard_of(p.ft, k, cfg.shard_seed)].packets.push_back(p);
+  }
+  return parts;
+}
+
+SimStats merge_stats(const std::vector<SimStats>& parts) {
+  SimStats out;
+  for (const auto& s : parts) {
+    for (std::size_t i = 0; i < out.path_count.size(); ++i) out.path_count[i] += s.path_count[i];
+    out.green_mirrors += s.green_mirrors;
+    out.packets += s.packets;
+    out.dropped += s.dropped;
+    out.blacklist_hits += s.blacklist_hits;
+    out.collisions += s.collisions;
+    out.flows_classified += s.flows_classified;
+    out.benign_feature_mirrors += s.benign_feature_mirrors;
+    out.tp += s.tp;
+    out.fp += s.fp;
+    out.tn += s.tn;
+    out.fn += s.fn;
+    out.faults.channel_overflow_drops += s.faults.channel_overflow_drops;
+    out.faults.injected_digest_drops += s.faults.injected_digest_drops;
+    out.faults.delayed_digests += s.faults.delayed_digests;
+    // High-water marks of independent channels: the sum bounds the fleet's
+    // aggregate backlog (each shard peaks at a different time).
+    out.faults.backlog_hwm += s.faults.backlog_hwm;
+    out.faults.install_attempts += s.faults.install_attempts;
+    out.faults.install_failures += s.faults.install_failures;
+    out.faults.install_retries += s.faults.install_retries;
+    out.faults.dead_letters += s.faults.dead_letters;
+    out.faults.crashes += s.faults.crashes;
+    out.faults.digests_lost_to_crash += s.faults.digests_lost_to_crash;
+    out.faults.recovery_installs += s.faults.recovery_installs;
+    out.faults.leaked_packets += s.faults.leaked_packets;
+    out.pred.insert(out.pred.end(), s.pred.begin(), s.pred.end());
+    out.truth.insert(out.truth.end(), s.truth.begin(), s.truth.end());
+  }
+  return out;
+}
+
+ShardedReplayResult replay_sharded(const traffic::Trace& trace, const PipelineConfig& cfg,
+                                   const DeployedModel& model, const ReplayConfig& rcfg) {
+  const std::size_t k = std::max<std::size_t>(rcfg.shards, 1);
+  std::vector<traffic::Trace> parts(k);
+  std::vector<std::uint32_t> shard_of_packet;
+  shard_of_packet.reserve(trace.size());
+  for (const auto& p : trace.packets) {
+    const std::size_t s = shard_of(p.ft, k, rcfg.shard_seed);
+    shard_of_packet.push_back(static_cast<std::uint32_t>(s));
+    parts[s].packets.push_back(p);
+  }
+
+  ShardedReplayResult out;
+  out.per_shard.resize(k);
+  std::vector<SimStats>& shard_stats = out.per_shard;
+  // One thread per shard is plenty: each task is a full sequential replay.
+  ml::ThreadPool pool(std::min(ml::resolve_threads(rcfg.num_threads), k));
+  pool.parallel_for(k, [&](std::size_t s) {
+    Pipeline pipe(cfg, model);
+    shard_stats[s] = pipe.run(parts[s]);
+  });
+
+  out.stats = merge_stats(shard_stats);
+  if (cfg.record_labels) {
+    // Re-interleave the per-shard label streams into original trace order:
+    // walk the trace, taking each packet's verdict from the front of its
+    // shard's stream (each shard preserved its sub-trace order).
+    out.stats.pred.clear();
+    out.stats.truth.clear();
+    out.stats.pred.reserve(trace.size());
+    out.stats.truth.reserve(trace.size());
+    std::vector<std::size_t> next(k, 0);
+    for (const std::uint32_t s : shard_of_packet) {
+      const std::size_t i = next[s]++;
+      out.stats.pred.push_back(shard_stats[s].pred[i]);
+      out.stats.truth.push_back(shard_stats[s].truth[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace iguard::switchsim

@@ -2,8 +2,8 @@
 
 namespace iguard::switchsim {
 
-bool BlacklistTable::contains(const traffic::FiveTuple& ft) {
-  const auto it = entries_.find(key(ft));
+bool BlacklistTable::contains_key(std::uint64_t k) {
+  const auto it = entries_.find(k);
   if (it == entries_.end()) return false;
   if (policy_ == EvictionPolicy::kLru) touch(it->first);
   return true;

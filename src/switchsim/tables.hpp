@@ -23,9 +23,19 @@ class BlacklistTable {
   explicit BlacklistTable(std::size_t capacity, EvictionPolicy policy = EvictionPolicy::kFifo)
       : capacity_(capacity), policy_(policy) {}
 
+  /// Bidirectional table key of a 5-tuple — exposed so the pipeline can
+  /// hash a packet once and reuse the key for the blacklist lookup and the
+  /// leak check.
+  static std::uint64_t flow_key(const traffic::FiveTuple& ft) {
+    return traffic::bihash(ft, 0xB1AC);
+  }
+
   /// True if the 5-tuple (either direction) is blacklisted. LRU mode
   /// refreshes recency on hit.
-  bool contains(const traffic::FiveTuple& ft);
+  bool contains(const traffic::FiveTuple& ft) { return contains_key(key(ft)); }
+
+  /// Same, keyed by a precomputed flow_key(ft).
+  bool contains_key(std::uint64_t k);
 
   /// Install a rule; evicts the oldest/least-recently-used entry when full.
   /// Returns true when a new entry was inserted (false = duplicate; LRU
@@ -45,7 +55,7 @@ class BlacklistTable {
   std::size_t order_queue_size() const { return order_.size(); }
 
  private:
-  std::uint64_t key(const traffic::FiveTuple& ft) const { return traffic::bihash(ft, 0xB1AC); }
+  std::uint64_t key(const traffic::FiveTuple& ft) const { return flow_key(ft); }
   void touch(std::uint64_t k);
 
   std::size_t capacity_;

@@ -1,0 +1,139 @@
+// Zero-allocation packet-path invariant: once flows are warmed up
+// (classified or mid-epoch), Pipeline::process must not touch the heap on
+// the red / brown / purple steady-state paths — quantisation goes through
+// stack buffers (Quantizer::quantize_into) and the compiled match engine
+// never allocates. This is the only TU in iguard_tests that may include
+// alloc_counter.hpp (it replaces the global operator new).
+#include <gtest/gtest.h>
+
+#include "harness/alloc_counter.hpp"
+#include "switchsim/pipeline.hpp"
+
+namespace iguard::switchsim {
+namespace {
+
+traffic::Packet mk(double ts, std::uint16_t len, std::uint32_t src, std::uint16_t sport,
+                   bool mal = false) {
+  traffic::Packet p;
+  p.ts = ts;
+  p.ft = {src, 0x0A0000FFu, sport, 443, traffic::kProtoTcp};
+  p.length = len;
+  p.malicious = mal;
+  return p;
+}
+
+class AllocPathTest : public ::testing::Test {
+ protected:
+  AllocPathTest() {
+    // FL whitelist admitting only small-packet flows (feature 5 = min size),
+    // so the trace produces both benign (purple) and malicious (red) flows.
+    ml::Matrix fake(2, kSwitchFlFeatures);
+    for (std::size_t j = 0; j < kSwitchFlFeatures; ++j) {
+      fake(0, j) = 0.0;
+      fake(1, j) = 1e6;
+    }
+    fl_quant_.fit(fake);
+    std::vector<rules::FieldRange> box(kSwitchFlFeatures, {0, fl_quant_.domain_max()});
+    box[5] = {0, fl_quant_.quantize_value(5, 600.0)};
+    fl_.tree_count = 1;
+    fl_.tables.emplace_back(std::vector<rules::RangeRule>{{box, 0, 0}});
+
+    // PL whitelist over {dst_port, proto, length, TTL} so the brown path
+    // exercises a real per-packet rule lookup, not the no-PL early-out.
+    ml::Matrix fake_pl(2, 4);
+    for (std::size_t j = 0; j < 4; ++j) {
+      fake_pl(0, j) = 0.0;
+      fake_pl(1, j) = 65535.0;
+    }
+    pl_quant_.fit(fake_pl);
+    pl_.tree_count = 1;
+    pl_.tables.emplace_back(std::vector<rules::RangeRule>{
+        {std::vector<rules::FieldRange>(4, {0, pl_quant_.domain_max()}), 0, 0}});
+  }
+
+  DeployedModel model() const {
+    DeployedModel dm;
+    dm.fl_tables = &fl_;
+    dm.fl_quantizer = &fl_quant_;
+    dm.pl_tables = &pl_;
+    dm.pl_quantizer = &pl_quant_;
+    return dm;
+  }
+
+  rules::Quantizer fl_quant_{16}, pl_quant_{16};
+  core::VoteWhitelist fl_, pl_;
+};
+
+TEST_F(AllocPathTest, SteadyStatePacketsAllocateNothing) {
+  if (!harness::alloc_counting_active()) {
+    GTEST_SKIP() << "sanitizer build owns the allocator";
+  }
+  PipelineConfig cfg;
+  cfg.packet_threshold_n = 4;
+  cfg.idle_timeout_delta = 1e6;  // no timeouts during the probe
+  cfg.record_labels = false;     // per-packet vectors off (the 200 MB knob)
+  cfg.match_engine = MatchEngine::kCompiled;
+  const auto dm = model();
+  Pipeline pipe(cfg, dm);
+  SimStats st;
+
+  // Warm-up: classify one benign flow (-> purple thereafter), one malicious
+  // flow (-> blacklist install -> red thereafter), and start a long-lived
+  // flow that stays below the packet threshold (-> brown on every packet).
+  double ts = 0.0;
+  for (int i = 0; i < 4; ++i) pipe.process(mk(ts += 0.001, 100, 1, 1000), st);
+  for (int i = 0; i < 4; ++i) pipe.process(mk(ts += 0.001, 1400, 2, 2000, true), st);
+  pipe.process(mk(ts += 0.001, 100, 3, 3000), st);
+  ASSERT_EQ(st.flows_classified, 2u);
+  ASSERT_EQ(pipe.blacklist().size(), 1u);
+
+  // Steady state: purple + red traffic only, zero heap traffic.
+  const std::size_t before = harness::alloc_count();
+  for (int i = 0; i < 5000; ++i) {
+    pipe.process(mk(ts += 0.0001, 100, 1, 1000), st);        // purple
+    pipe.process(mk(ts += 0.0001, 1400, 2, 2000, true), st); // red
+  }
+  const std::size_t delta = harness::alloc_count() - before;
+  EXPECT_EQ(delta, 0u) << "steady-state process() allocated " << delta << " times";
+  EXPECT_EQ(st.path(Path::kPurple), 5000u);
+  EXPECT_EQ(st.path(Path::kRed), 5000u);
+}
+
+TEST_F(AllocPathTest, BrownPathAllocatesNothing) {
+  if (!harness::alloc_counting_active()) {
+    GTEST_SKIP() << "sanitizer build owns the allocator";
+  }
+  PipelineConfig cfg;
+  cfg.packet_threshold_n = 1u << 30;  // never finalise: every packet brown
+  cfg.idle_timeout_delta = 1e6;
+  cfg.record_labels = false;
+  const auto dm = model();
+  Pipeline pipe(cfg, dm);
+  SimStats st;
+  double ts = 0.0;
+  pipe.process(mk(ts += 0.001, 100, 7, 7000), st);  // slot claim
+  const std::size_t before = harness::alloc_count();
+  for (int i = 0; i < 5000; ++i) pipe.process(mk(ts += 0.0001, 100, 7, 7000), st);
+  EXPECT_EQ(harness::alloc_count() - before, 0u);
+  EXPECT_EQ(st.path(Path::kBrown), 5001u);
+}
+
+TEST_F(AllocPathTest, RecordLabelsOnIsTheOnlySteadyStateAllocator) {
+  if (!harness::alloc_counting_active()) {
+    GTEST_SKIP() << "sanitizer build owns the allocator";
+  }
+  // Sanity check on the probe itself: with record_labels on, the pred/truth
+  // vectors grow and allocations do happen (amortised doubling).
+  PipelineConfig cfg;
+  cfg.packet_threshold_n = 1u << 30;
+  cfg.record_labels = true;
+  Pipeline pipe(cfg, model());
+  SimStats st;
+  double ts = 0.0;
+  const std::size_t before = harness::alloc_count();
+  for (int i = 0; i < 5000; ++i) pipe.process(mk(ts += 0.0001, 100, 9, 9000), st);
+  EXPECT_GT(harness::alloc_count() - before, 0u);
+}
+
+}  // namespace
+}  // namespace iguard::switchsim

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "ml/rng.hpp"
+#include "switchsim/replay.hpp"
+
+namespace iguard::switchsim {
+namespace {
+
+/// Synthetic mixed trace: `flows` bidirectional flows, ~8 packets each,
+/// interleaved in time. Malicious flows send large packets so the min-size
+/// feature separates the classes crisply after quantisation.
+traffic::Trace make_trace(std::size_t flows, std::size_t packets_per_flow, ml::Rng& rng) {
+  traffic::Trace t;
+  for (std::size_t f = 0; f < flows; ++f) {
+    const bool mal = f % 3 == 0;
+    traffic::FiveTuple ft{0x0A000000u + static_cast<std::uint32_t>(f),
+                          0x0B000000u + static_cast<std::uint32_t>(f % 7),
+                          static_cast<std::uint16_t>(1024 + f), 443, traffic::kProtoTcp};
+    for (std::size_t i = 0; i < packets_per_flow; ++i) {
+      traffic::Packet p;
+      p.ts = 0.001 * static_cast<double>(f) + 0.05 * static_cast<double>(i) +
+             rng.uniform(0.0, 0.0005);
+      p.ft = i % 2 == 0 ? ft : ft.reversed();  // both directions
+      p.length = mal ? static_cast<std::uint16_t>(1200 + rng.index(200))
+                     : static_cast<std::uint16_t>(80 + rng.index(60));
+      p.malicious = mal;
+      t.packets.push_back(p);
+    }
+  }
+  t.sort_by_time();
+  return t;
+}
+
+class ReplayTest : public ::testing::Test {
+ protected:
+  ReplayTest() {
+    ml::Matrix fake(2, kSwitchFlFeatures);
+    for (std::size_t j = 0; j < kSwitchFlFeatures; ++j) {
+      fake(0, j) = 0.0;
+      fake(1, j) = 1e6;
+    }
+    quant_.fit(fake);
+    // One tree whose only rule admits flows with min packet size below the
+    // quantised level of ~600 B: benign flows match, attack flows do not.
+    wl_.tree_count = 1;
+    std::vector<rules::FieldRange> box(kSwitchFlFeatures, {0, quant_.domain_max()});
+    box[5] = {0, quant_.quantize_value(5, 600.0)};  // feature 5 = min size
+    wl_.tables.emplace_back(std::vector<rules::RangeRule>{{box, 0, 0}});
+  }
+
+  DeployedModel model() const {
+    DeployedModel dm;
+    dm.fl_tables = &wl_;
+    dm.fl_quantizer = &quant_;
+    return dm;
+  }
+
+  PipelineConfig pipe_cfg() const {
+    PipelineConfig cfg;
+    cfg.packet_threshold_n = 4;
+    cfg.idle_timeout_delta = 10.0;
+    return cfg;
+  }
+
+  rules::Quantizer quant_{16};
+  core::VoteWhitelist wl_;
+};
+
+TEST_F(ReplayTest, ShardOfIsDirectionInvariant) {
+  ml::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    traffic::FiveTuple ft{static_cast<std::uint32_t>(rng.integer(1, 1 << 30)),
+                          static_cast<std::uint32_t>(rng.integer(1, 1 << 30)),
+                          static_cast<std::uint16_t>(rng.integer(1, 65535)),
+                          static_cast<std::uint16_t>(rng.integer(1, 65535)),
+                          traffic::kProtoUdp};
+    for (std::size_t k : {2u, 4u, 8u}) {
+      EXPECT_EQ(shard_of(ft, k), shard_of(ft.reversed(), k));
+    }
+  }
+}
+
+TEST_F(ReplayTest, ShardTraceIsFlowDisjointAndOrderPreserving) {
+  ml::Rng rng(7);
+  const auto trace = make_trace(60, 8, rng);
+  ReplayConfig rc;
+  rc.shards = 4;
+  const auto parts = shard_trace(trace, rc);
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    total += parts[s].size();
+    double prev = -1.0;
+    for (const auto& p : parts[s].packets) {
+      EXPECT_EQ(shard_of(p.ft, rc.shards, rc.shard_seed), s);
+      EXPECT_GE(p.ts, prev);  // stable partition keeps time order
+      prev = p.ts;
+    }
+  }
+  EXPECT_EQ(total, trace.size());
+}
+
+TEST_F(ReplayTest, ShardedAggregateEqualsSequentialPerShardSum) {
+  // The parallel K-shard replay must equal running the K per-shard pipelines
+  // one after another and summing their stats — shard isolation is exact.
+  ml::Rng rng(11);
+  const auto trace = make_trace(80, 8, rng);
+  const auto dm = model();
+  ReplayConfig rc;
+  rc.shards = 4;
+
+  const auto parallel = replay_sharded(trace, pipe_cfg(), dm, rc);
+
+  const auto parts = shard_trace(trace, rc);
+  std::vector<SimStats> seq(parts.size());
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    Pipeline pipe(pipe_cfg(), dm);
+    seq[s] = pipe.run(parts[s]);
+  }
+  const SimStats want = merge_stats(seq);
+
+  EXPECT_EQ(parallel.stats.packets, want.packets);
+  EXPECT_EQ(parallel.stats.dropped, want.dropped);
+  EXPECT_EQ(parallel.stats.flows_classified, want.flows_classified);
+  EXPECT_EQ(parallel.stats.blacklist_hits, want.blacklist_hits);
+  EXPECT_EQ(parallel.stats.collisions, want.collisions);
+  EXPECT_EQ(parallel.stats.path_count, want.path_count);
+  EXPECT_EQ(parallel.stats.tp, want.tp);
+  EXPECT_EQ(parallel.stats.fp, want.fp);
+  EXPECT_EQ(parallel.stats.tn, want.tn);
+  EXPECT_EQ(parallel.stats.fn, want.fn);
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    EXPECT_EQ(parallel.per_shard[s].pred, seq[s].pred);
+    EXPECT_EQ(parallel.per_shard[s].truth, seq[s].truth);
+  }
+}
+
+TEST_F(ReplayTest, BitIdenticalAcrossThreadCounts) {
+  ml::Rng rng(13);
+  const auto trace = make_trace(100, 8, rng);
+  const auto dm = model();
+  ReplayConfig rc;
+  rc.shards = 8;
+  rc.num_threads = 1;
+  const auto a = replay_sharded(trace, pipe_cfg(), dm, rc);
+  rc.num_threads = 8;
+  const auto b = replay_sharded(trace, pipe_cfg(), dm, rc);
+  EXPECT_EQ(a.stats.pred, b.stats.pred);
+  EXPECT_EQ(a.stats.truth, b.stats.truth);
+  EXPECT_EQ(a.stats.packets, b.stats.packets);
+  EXPECT_EQ(a.stats.dropped, b.stats.dropped);
+  EXPECT_EQ(a.stats.path_count, b.stats.path_count);
+  EXPECT_EQ(a.stats.faults.leaked_packets, b.stats.faults.leaked_packets);
+}
+
+TEST_F(ReplayTest, MergedLabelsFollowOriginalTraceOrder) {
+  // pred/truth from the sharded replay must line up with the input trace
+  // packet-for-packet: truth is an input, so it must round-trip exactly.
+  ml::Rng rng(17);
+  const auto trace = make_trace(50, 6, rng);
+  ReplayConfig rc;
+  rc.shards = 4;
+  const auto out = replay_sharded(trace, pipe_cfg(), model(), rc);
+  ASSERT_EQ(out.stats.truth.size(), trace.size());
+  ASSERT_EQ(out.stats.pred.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(out.stats.truth[i], trace.packets[i].malicious ? 1 : 0);
+  }
+}
+
+TEST_F(ReplayTest, SingleShardMatchesPlainPipelineRun) {
+  ml::Rng rng(19);
+  const auto trace = make_trace(40, 8, rng);
+  const auto dm = model();
+  const auto sharded = replay_sharded(trace, pipe_cfg(), dm, ReplayConfig{});
+  Pipeline pipe(pipe_cfg(), dm);
+  const auto plain = pipe.run(trace);
+  EXPECT_EQ(sharded.stats.pred, plain.pred);
+  EXPECT_EQ(sharded.stats.truth, plain.truth);
+  EXPECT_EQ(sharded.stats.dropped, plain.dropped);
+  EXPECT_EQ(sharded.stats.path_count, plain.path_count);
+}
+
+TEST_F(ReplayTest, RecordLabelsOffKeepsConfusionCounts) {
+  ml::Rng rng(23);
+  const auto trace = make_trace(60, 8, rng);
+  const auto dm = model();
+  PipelineConfig on = pipe_cfg();
+  PipelineConfig off = pipe_cfg();
+  off.record_labels = false;
+
+  Pipeline pipe_on(on, dm);
+  Pipeline pipe_off(off, dm);
+  const auto a = pipe_on.run(trace);
+  const auto b = pipe_off.run(trace);
+
+  EXPECT_TRUE(b.pred.empty());
+  EXPECT_TRUE(b.truth.empty());
+  EXPECT_EQ(a.tp, b.tp);
+  EXPECT_EQ(a.fp, b.fp);
+  EXPECT_EQ(a.tn, b.tn);
+  EXPECT_EQ(a.fn, b.fn);
+  EXPECT_EQ(a.tp + a.fp + a.tn + a.fn, a.packets);
+  // The recorded vectors and the counters tell the same story.
+  std::size_t tp = 0, fp = 0, tn = 0, fn = 0;
+  for (std::size_t i = 0; i < a.pred.size(); ++i) {
+    if (a.pred[i] && a.truth[i]) ++tp;
+    else if (a.pred[i]) ++fp;
+    else if (a.truth[i]) ++fn;
+    else ++tn;
+  }
+  EXPECT_EQ(a.tp, tp);
+  EXPECT_EQ(a.fp, fp);
+  EXPECT_EQ(a.tn, tn);
+  EXPECT_EQ(a.fn, fn);
+}
+
+TEST_F(ReplayTest, SharedPrecompiledTablesMatchOwnCompilation) {
+  // A DeployedModel carrying pre-compiled whitelists (compile once, share
+  // across shard pipelines) must replay bit-identically to pipelines that
+  // compile their own copies.
+  ml::Rng rng(31);
+  const auto trace = make_trace(80, 8, rng);
+  const auto own = model();
+  DeployedModel shared = model();
+  const core::CompiledVoteWhitelist fl_compiled(wl_);
+  shared.fl_compiled = &fl_compiled;
+
+  ReplayConfig rc;
+  rc.shards = 4;
+  const auto a = replay_sharded(trace, pipe_cfg(), own, rc);
+  const auto b = replay_sharded(trace, pipe_cfg(), shared, rc);
+  EXPECT_EQ(a.stats.pred, b.stats.pred);
+  EXPECT_EQ(a.stats.dropped, b.stats.dropped);
+  EXPECT_EQ(a.stats.path_count, b.stats.path_count);
+  EXPECT_EQ(a.stats.flows_classified, b.stats.flows_classified);
+}
+
+TEST_F(ReplayTest, LinearAndCompiledEnginesAgreeOnReplay) {
+  ml::Rng rng(29);
+  const auto trace = make_trace(80, 8, rng);
+  const auto dm = model();
+  PipelineConfig lin = pipe_cfg();
+  lin.match_engine = MatchEngine::kLinear;
+  PipelineConfig comp = pipe_cfg();
+  comp.match_engine = MatchEngine::kCompiled;
+  Pipeline a(lin, dm), b(comp, dm);
+  const auto sa = a.run(trace);
+  const auto sb = b.run(trace);
+  EXPECT_EQ(sa.pred, sb.pred);
+  EXPECT_EQ(sa.dropped, sb.dropped);
+  EXPECT_EQ(sa.path_count, sb.path_count);
+  EXPECT_EQ(sa.flows_classified, sb.flows_classified);
+}
+
+}  // namespace
+}  // namespace iguard::switchsim
