@@ -6,12 +6,14 @@
 // latency 0-100 ms, digest loss 0-20 %, bounded channel capacities, and
 // controller outages — under both blacklist eviction policies. Everything
 // is seeded: the same build produces a bit-identical fault_resilience.csv.
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "eval/metrics.hpp"
 #include "eval/report.hpp"
 #include "harness/testbed_lab.hpp"
+#include "obs/metrics.hpp"
 
 using namespace iguard;
 
@@ -77,6 +79,12 @@ int main() {
   eval::Table t({"scenario", "policy", "latency_ms", "loss_pct", "channel_cap", "crash_s",
                  "recall", "macro_f1", "leaked_frac", "red_path", "installs", "chan_drops",
                  "inj_drops", "backlog_hwm", "dead_letters", "recovery_installs"});
+  // Per-stage observability breakdown (DESIGN.md §4d) for the compound
+  // scenario under each eviction policy: path counters, occupancy gauges,
+  // install latency histogram and the sampled backlog series. Written as a
+  // separate artifact with "timing." keys stripped, so it is bit-identical
+  // run to run like the CSV.
+  obs::Registry obs_reg;
   for (const auto policy : {switchsim::EvictionPolicy::kFifo, switchsim::EvictionPolicy::kLru}) {
     const std::string pname = policy == switchsim::EvictionPolicy::kFifo ? "fifo" : "lru";
     for (const auto& sc : scenarios) {
@@ -89,6 +97,10 @@ int main() {
       pipe_cfg.control.faults.digest_loss_rate = sc.loss_rate;
       if (sc.crash_duration_s > 0.0)
         pipe_cfg.control.faults.crashes = {{sc.crash_start_s, sc.crash_duration_s}};
+      if (sc.label.rfind("compound", 0) == 0) {
+        pipe_cfg.metrics = &obs_reg;
+        pipe_cfg.metrics_prefix = "pipeline." + pname;
+      }
 
       switchsim::Pipeline pipe(pipe_cfg, dep.iguard_model());
       const auto st = pipe.run(dep.test_trace);
@@ -115,6 +127,15 @@ int main() {
   }
   t.print(std::cout, "Control-plane fault resilience (one deployment, degraded replays)");
   t.write_csv("fault_resilience.csv");
-  std::cout << "\nwrote fault_resilience.csv (" << t.rows() << " scenarios)\n";
+
+  obs::MetricsSnapshot snap = obs_reg.snapshot();
+  for (auto it = snap.scalars.begin(); it != snap.scalars.end();) {
+    it = it->first.rfind("timing.", 0) == 0 ? snap.scalars.erase(it) : std::next(it);
+  }
+  std::ofstream of("fault_resilience_obs.json");
+  of << obs::to_json(snap);
+
+  std::cout << "\nwrote fault_resilience.csv (" << t.rows()
+            << " scenarios) and fault_resilience_obs.json\n";
   return 0;
 }

@@ -22,6 +22,7 @@
 
 #include "harness/alloc_counter.hpp"
 #include "ml/rng.hpp"
+#include "obs/metrics.hpp"
 #include "switchsim/flow_state.hpp"
 #include "switchsim/replay.hpp"
 #include "trafficgen/attacks.hpp"
@@ -253,6 +254,23 @@ int main(int argc, char** argv) {
     runs.push_back(measure("compiled", trace, dm, switchsim::MatchEngine::kCompiled, shards, reps));
   }
   const double speedup = runs[1].packets_per_sec / runs[0].packets_per_sec;
+
+  // --- per-stage observability breakdown ------------------------------------
+  // One instrumented 2-shard replay (DESIGN.md §4d): per-path packet counts
+  // and latency histograms, occupancy gauges, control-plane counters, shard
+  // wall times and pool queue waits. Written as a separate artifact so the
+  // gate JSON above keeps its exact schema; non-"timing." keys in it are
+  // byte-deterministic (check.sh --obs-smoke asserts so).
+  {
+    obs::Registry reg;
+    auto ocfg = pipe_config(switchsim::MatchEngine::kCompiled, false);
+    ocfg.metrics = &reg;
+    switchsim::ReplayConfig rc;
+    rc.shards = 2;
+    (void)switchsim::replay_sharded(trace, ocfg, dm, rc);
+    std::ofstream of("BENCH_pipeline_obs.json");
+    of << obs::to_json(reg.snapshot());
+  }
 
   // --- report ---------------------------------------------------------------
   std::ostringstream js;

@@ -113,25 +113,56 @@ double best_f1_threshold(std::span<const int> truth, std::span<const double> sco
   if (truth.size() != score.size() || truth.empty()) {
     throw std::invalid_argument("best_f1_threshold: bad input");
   }
-  // Sweep thresholds at midpoints between consecutive distinct scores.
-  std::vector<double> s(score.begin(), score.end());
-  std::sort(s.begin(), s.end());
-  s.erase(std::unique(s.begin(), s.end()), s.end());
+  const std::size_t n = truth.size();
+  // Single sort + incremental confusion update: O(n log n), replacing a
+  // sweep that re-scanned all n samples per candidate (O(n * distinct)).
+  // The candidate values, their order, and the confusion integers at each
+  // candidate are identical to the old sweep's, so f1 doubles — and the
+  // returned threshold — are bit-identical.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return score[a] < score[b]; });
 
-  std::vector<int> pred(truth.size());
-  double best_thr = s.front() - 1.0;
+  // Candidates: below the minimum (everything positive), midpoints between
+  // consecutive distinct scores, above the maximum (everything negative).
+  // They are non-decreasing — even when FP rounding collapses a midpoint
+  // onto an endpoint — which is what makes the single-pointer sweep valid.
+  std::vector<double> cand;
+  cand.reserve(n + 2);
+  cand.push_back(score[order.front()] - 1.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double a = score[order[i]], b = score[order[i + 1]];
+    if (a != b) cand.push_back(0.5 * (a + b));
+  }
+  cand.push_back(score[order.back()] + 1.0);
+
+  // Start from "everything predicted positive"; the sweep pointer then
+  // flips each sample to predicted-negative once its score is <= the
+  // candidate — exactly the partition the old `score > thr` scan produced,
+  // including the FP edge case where `min - 1.0 == min`.
+  Confusion c;
+  for (const int t : truth) (t == 1 ? c.tp : c.fp) += 1;
+  std::size_t j = 0;  // samples with score <= current candidate
+  double best_thr = cand.front();
   double best = -1.0;
-  auto try_thr = [&](double thr) {
-    for (std::size_t i = 0; i < truth.size(); ++i) pred[i] = score[i] > thr ? 1 : 0;
-    const double f1 = macro_f1(truth, pred);
+  for (const double thr : cand) {
+    while (j < n && score[order[j]] <= thr) {
+      if (truth[order[j]] == 1) {
+        --c.tp;
+        ++c.fn;
+      } else {
+        --c.fp;
+        ++c.tn;
+      }
+      ++j;
+    }
+    const double f1 = 0.5 * (f1_for_class(c, 0) + f1_for_class(c, 1));
     if (f1 > best) {
       best = f1;
       best_thr = thr;
     }
-  };
-  try_thr(s.front() - 1.0);  // everything positive
-  for (std::size_t i = 0; i + 1 < s.size(); ++i) try_thr(0.5 * (s[i] + s[i + 1]));
-  try_thr(s.back() + 1.0);  // everything negative
+  }
   return best_thr;
 }
 

@@ -15,15 +15,18 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "ml/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace iguard::ml {
 
@@ -79,13 +82,29 @@ class ThreadPool {
 
   std::size_t size() const { return threads_; }
 
+  /// Attach observability instruments (DESIGN.md §4d): a task counter
+  /// (integer, hence deterministic) plus queue-wait and task-run wall-time
+  /// histograms, namespaced "timing." so determinism gates exclude them.
+  /// The registry is caller-owned and must outlive the pool. Histograms are
+  /// shared across workers — recording is relaxed-atomic and lock-free.
+  void set_metrics(obs::Registry* r, const std::string& prefix = "pool") {
+    if (r == nullptr || !r->enabled()) return;
+    tasks_ = r->counter(prefix + ".tasks");
+    queue_wait_ns_ =
+        r->histogram("timing." + prefix + ".queue_wait_ns", obs::default_latency_bounds_ns());
+    task_run_ns_ =
+        r->histogram("timing." + prefix + ".task_run_ns", obs::default_latency_bounds_ns());
+    timed_ = true;
+  }
+
   /// Run fn(i) for every i in [0, n); blocks until all tasks finish. Tasks
   /// are claimed dynamically for load balance. If any task throws, the
   /// remaining tasks still run and the first exception is rethrown here.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
     if (n == 0) return;
+    if (timed_) job_t0_ = std::chrono::steady_clock::now();
     if (workers_.empty() || n == 1) {
-      for (std::size_t i = 0; i < n; ++i) fn(i);
+      for (std::size_t i = 0; i < n; ++i) run_one(fn, i);
       return;
     }
     {
@@ -135,12 +154,30 @@ class ThreadPool {
       const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
-        fn(i);
+        run_one(fn, i);
       } catch (...) {
         std::lock_guard<std::mutex> lk(mu_);
         if (!error_) error_ = std::current_exception();
       }
     }
+  }
+
+  /// Execute one task, recording queue wait (dispatch -> start) and run
+  /// time when instruments are attached. A task that throws is counted but
+  /// its run time is not recorded.
+  void run_one(const std::function<void(std::size_t)>& fn, std::size_t i) {
+    if (!timed_) {
+      fn(i);
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    queue_wait_ns_.record(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t0 - job_t0_).count()));
+    tasks_.inc();
+    fn(i);
+    const auto t1 = std::chrono::steady_clock::now();
+    task_run_ns_.record(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
   }
 
   std::size_t threads_;
@@ -154,6 +191,12 @@ class ThreadPool {
   std::uint64_t generation_ = 0;
   bool stop_ = false;
   std::exception_ptr error_;
+  /// Observability (set_metrics). job_t0_ is written before dispatch and
+  /// read by workers after the generation handshake, so it is synchronized.
+  bool timed_ = false;
+  obs::Counter tasks_;
+  obs::Histogram queue_wait_ns_, task_run_ns_;
+  std::chrono::steady_clock::time_point job_t0_{};
 };
 
 }  // namespace iguard::ml

@@ -5,29 +5,49 @@
 namespace iguard::switchsim {
 
 Controller::Controller(BlacklistTable& blacklist, ControlPlaneConfig cfg,
-                       const FlowStore* store)
+                       const FlowStore* store, obs::Registry* metrics,
+                       std::string_view metrics_prefix)
     : blacklist_(&blacklist), cfg_(std::move(cfg)), store_(store), injector_(cfg_.faults) {
   std::sort(cfg_.faults.crashes.begin(), cfg_.faults.crashes.end(),
             [](const CrashWindow& a, const CrashWindow& b) { return a.start_s < b.start_s; });
   // Re-seat the injector on the sorted window list so down_at's early-exit
   // scan is valid regardless of the order the caller supplied.
   injector_ = FaultInjector(cfg_.faults);
+  if (metrics != nullptr && metrics->enabled()) {
+    const std::string p(metrics_prefix);
+    obs_.digests = metrics->counter(p + ".digests");
+    obs_.installs = metrics->counter(p + ".installs");
+    obs_.install_retries = metrics->counter(p + ".install_retries");
+    obs_.dead_letters = metrics->counter(p + ".dead_letters");
+    obs_.digest_drops = metrics->counter(p + ".digest_drops");
+    obs_.install_latency =
+        metrics->histogram(p + ".install_latency_s", obs::default_install_latency_bounds_s());
+    obs_.backlog = metrics->series(p + ".backlog", cfg_.backlog_sample_capacity,
+                                   cfg_.backlog_sample_every);
+  }
 }
 
 void Controller::on_digest(const Digest& d, double ts_s) {
   ++digests_;
   bytes_ += Digest::kBytes;
+  obs_.digests.inc();
   if (injector_.down_at(ts_s)) {
     // Nothing is listening: the digest notification goes nowhere.
     ++stats_.digests_lost_to_crash;
+    obs_.digest_drops.inc();
+    obs_.backlog.observe(static_cast<double>(channel_backlog_));
     return;
   }
   if (injector_.drop_digest()) {
     ++stats_.injected_digest_drops;
+    obs_.digest_drops.inc();
+    obs_.backlog.observe(static_cast<double>(channel_backlog_));
     return;
   }
   if (cfg_.channel_capacity > 0 && channel_backlog_ >= cfg_.channel_capacity) {
     ++stats_.channel_overflow_drops;
+    obs_.digest_drops.inc();
+    obs_.backlog.observe(static_cast<double>(channel_backlog_));
     return;
   }
   double delay = cfg_.control_latency_s;
@@ -38,6 +58,7 @@ void Controller::on_digest(const Digest& d, double ts_s) {
   channel_.push(Event{d, ts_s, ts_s + delay, 0, seq_++});
   ++channel_backlog_;
   stats_.backlog_hwm = std::max(stats_.backlog_hwm, channel_backlog_);
+  obs_.backlog.observe(static_cast<double>(channel_backlog_));
 }
 
 double Controller::backoff_delay(std::uint32_t attempt) const {
@@ -84,15 +105,20 @@ void Controller::deliver(const Event& e) {
     const std::uint32_t attempt = e.attempt + 1;
     if (attempt > cfg_.max_install_retries) {
       ++stats_.dead_letters;
+      obs_.dead_letters.inc();
       return;
     }
     ++stats_.install_retries;
+    obs_.install_retries.inc();
     channel_.push(Event{e.digest, e.enqueue_ts, e.due_ts + backoff_delay(attempt), attempt,
                         seq_++});
     return;
   }
   blacklist_->install(e.digest.ft);
   ++installs_;
+  obs_.installs.inc();
+  // Simulated digest-to-applied latency: event-clocked, hence deterministic.
+  obs_.install_latency.record(e.due_ts - e.enqueue_ts);
 }
 
 void Controller::advance_to(double now_s) {

@@ -22,8 +22,10 @@
 #include <cstdint>
 #include <limits>
 #include <queue>
+#include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "switchsim/registers.hpp"
 #include "switchsim/tables.hpp"
 
@@ -121,6 +123,11 @@ struct ControlPlaneConfig {
   std::size_t max_install_retries = 5;
   double retry_backoff_s = 0.001;      // first retry delay
   double retry_backoff_cap_s = 0.100;  // exponential backoff ceiling
+  /// Observability cadence: when a metrics registry is attached, the channel
+  /// backlog is sampled into a bounded time series every N digests (the
+  /// event count, not wall time, so the series is deterministic).
+  std::size_t backlog_sample_every = 8;
+  std::size_t backlog_sample_capacity = 4096;
   FaultConfig faults;
 };
 
@@ -153,8 +160,13 @@ struct FaultStats {
 /// blacklist writes.
 class Controller {
  public:
+  /// `metrics` (optional, caller-owned) attaches digest/install counters, a
+  /// simulated install-latency histogram, and the backlog time series under
+  /// `<prefix>.*` — all event-clocked, hence deterministic (non-"timing.").
   explicit Controller(BlacklistTable& blacklist, ControlPlaneConfig cfg = {},
-                      const FlowStore* store = nullptr);
+                      const FlowStore* store = nullptr,
+                      obs::Registry* metrics = nullptr,
+                      std::string_view metrics_prefix = "control");
 
   /// Data-plane side: submit one digest stamped with the triggering
   /// packet's timestamp. May drop (channel overflow, injected loss,
@@ -196,10 +208,22 @@ class Controller {
   void deliver(const Event& e);
   double backoff_delay(std::uint32_t attempt) const;
 
+  /// Inactive no-op handles unless a registry was attached.
+  struct Obs {
+    obs::Counter digests;
+    obs::Counter installs;
+    obs::Counter install_retries;
+    obs::Counter dead_letters;
+    obs::Counter digest_drops;       // overflow + injected + crash losses
+    obs::Histogram install_latency;  // simulated seconds, digest -> applied
+    obs::Series backlog;             // sampled every backlog_sample_every digests
+  };
+
   BlacklistTable* blacklist_;
   ControlPlaneConfig cfg_;
   const FlowStore* store_;
   FaultInjector injector_;
+  Obs obs_;
   std::priority_queue<Event, std::vector<Event>, Later> channel_;
   std::size_t channel_backlog_ = 0;  // attempt-0 events in flight
   std::size_t next_recovery_ = 0;    // index into cfg_.faults.crashes

@@ -15,10 +15,6 @@ std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) {
              ? std::numeric_limits<std::uint64_t>::max()
              : a + b;
 }
-
-std::uint64_t to_us(double ts) {
-  return static_cast<std::uint64_t>(std::max(0.0, ts) * 1e6);
-}
 }  // namespace
 
 void IntFlowState::update(const traffic::Packet& p, std::uint64_t flow_sig) {
@@ -116,11 +112,10 @@ features::FlowDataset extract_switch_features(const traffic::Trace& trace,
     out.labels.push_back(st.truth_malicious ? 1 : 0);
   };
 
-  const std::uint64_t delta_us =
-      static_cast<std::uint64_t>(std::max(0.0, idle_timeout_delta_s) * 1e6);
+  const std::uint64_t delta_us = to_us(idle_timeout_delta_s);
   for (const auto& p : trace.packets) {
     auto& st = table[p.ft];
-    const std::uint64_t now = static_cast<std::uint64_t>(std::max(0.0, p.ts) * 1e6);
+    const std::uint64_t now = to_us(p.ts);
     if (delta_us > 0 && st.pkt_count > 0 && now > st.last_ts_us &&
         now - st.last_ts_us > delta_us) {
       emit(st);

@@ -8,6 +8,7 @@
 // computes.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <vector>
@@ -18,6 +19,17 @@
 namespace iguard::switchsim {
 
 constexpr std::size_t kSwitchFlFeatures = 13;
+
+/// Seconds -> integer microseconds, clamped at zero. The ONE conversion both
+/// the data-plane pipeline and the offline training extractor must share: a
+/// raw `static_cast<uint64_t>(ts * 1e6)` on a negative timestamp is UB and
+/// in practice wraps to a huge value that force-fires the idle timeout,
+/// skewing deployed epoch boundaries away from what the rules were trained
+/// on. Capture timestamps can legitimately go negative (clock steps, pcap
+/// offsets), so the clamp is load-bearing, not defensive.
+inline std::uint64_t to_us(double ts) {
+  return static_cast<std::uint64_t>(std::max(0.0, ts) * 1e6);
+}
 
 struct IntFlowState {
   std::uint64_t sig = 0;  // bi-hash flow signature; 0 = empty slot

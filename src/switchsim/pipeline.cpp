@@ -1,5 +1,6 @@
 #include "switchsim/pipeline.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace iguard::switchsim {
@@ -9,6 +10,8 @@ void count(SimStats& s, Path p) { ++s.path_count[static_cast<std::size_t>(p)]; }
 
 /// PL whitelist width: {dst_port, proto, length, TTL}.
 constexpr std::size_t kPlFeatures = 4;
+
+constexpr const char* kPathNames[6] = {"red", "brown", "blue", "orange", "purple", "green"};
 }  // namespace
 
 Pipeline::Pipeline(const PipelineConfig& cfg, const DeployedModel& model)
@@ -16,9 +19,23 @@ Pipeline::Pipeline(const PipelineConfig& cfg, const DeployedModel& model)
       model_(model),
       store_(cfg.flow_slots),
       blacklist_(cfg.blacklist_capacity, cfg.eviction),
-      controller_(blacklist_, cfg.control, &store_) {
+      controller_(blacklist_, cfg.control, &store_, cfg.metrics,
+                  cfg.metrics_prefix + ".control") {
   if (model_.fl_tables == nullptr || model_.fl_quantizer == nullptr) {
     throw std::invalid_argument("Pipeline: FL rules are mandatory");
+  }
+  if (cfg_.metrics != nullptr && cfg_.metrics->enabled()) {
+    obs_.enabled = true;
+    const std::string& p = cfg_.metrics_prefix;
+    for (std::size_t i = 0; i < 6; ++i) {
+      obs_.path_packets[i] = cfg_.metrics->counter(p + ".path." + kPathNames[i] + ".packets");
+      obs_.path_ns[i] = cfg_.metrics->histogram(
+          "timing." + p + ".process_ns." + kPathNames[i], obs::default_latency_bounds_ns());
+    }
+    obs_.flow_occupancy = cfg_.metrics->gauge(p + ".flow_store.occupancy");
+    obs_.blacklist_occupancy = cfg_.metrics->gauge(p + ".blacklist.occupancy");
+    obs_.blacklist_evictions = cfg_.metrics->counter(p + ".blacklist.evictions");
+    obs_.leaked_packets = cfg_.metrics->counter(p + ".leaked_packets");
   }
   if (cfg_.match_engine == MatchEngine::kCompiled) {
     if (model_.fl_compiled != nullptr) {
@@ -77,6 +94,10 @@ void Pipeline::finalize_flow(const traffic::Packet& p, std::uint64_t flow_key, I
 }
 
 int Pipeline::process(const traffic::Packet& p, SimStats& stats) {
+  // Latency scope for the per-path histograms: t0 is captured up front (the
+  // handle is active iff a registry is attached) and the destination is
+  // re-targeted once the packet's path is known.
+  obs::ScopeTimerNs timer(obs_.path_ns[0]);
   // Apply control-plane work due by this packet's time before the lookup:
   // with zero latency and no faults this is exactly the lockstep model (an
   // install triggered by packet i has always only affected packets > i).
@@ -88,6 +109,7 @@ int Pipeline::process(const traffic::Packet& p, SimStats& stats) {
   // malicious-classified marking, and the leak check all share it.
   const std::uint64_t flow_key = BlacklistTable::flow_key(p.ft);
   int verdict = 0;
+  Path path = Path::kRed;
 
   if (blacklist_.contains_key(flow_key)) {
     // --- red -----------------------------------------------------------
@@ -96,9 +118,11 @@ int Pipeline::process(const traffic::Packet& p, SimStats& stats) {
     verdict = 1;
   } else {
     auto acc = store_.access(p.ft);
+    if (acc.inserted) ++slots_claimed_;
     if (acc.collision) {
       // --- orange --------------------------------------------------------
       count(stats, Path::kOrange);
+      path = Path::kOrange;
       ++stats.collisions;
       IntFlowState& resident = *acc.state;
       if (resident.label >= 0) {
@@ -113,11 +137,15 @@ int Pipeline::process(const traffic::Packet& p, SimStats& stats) {
       if (acc.found && st.label >= 0) {
         // --- purple --------------------------------------------------------
         count(stats, Path::kPurple);
+        path = Path::kPurple;
         verdict = st.label;
       } else {
-        const std::uint64_t now_us = static_cast<std::uint64_t>(p.ts * 1e6);
-        const std::uint64_t delta_us =
-            static_cast<std::uint64_t>(cfg_.idle_timeout_delta * 1e6);
+        // Shared seconds->µs clamp (flow_state.hpp). The raw cast this code
+        // used before was UB for negative timestamps: they wrapped to huge
+        // values that force-fired the idle timeout and skewed deployment
+        // epochs away from the training extractor's.
+        const std::uint64_t now_us = to_us(p.ts);
+        const std::uint64_t delta_us = to_us(cfg_.idle_timeout_delta);
         const bool timed_out = cfg_.idle_timeout_delta > 0.0 && st.pkt_count > 0 &&
                                now_us > st.last_ts_us && now_us - st.last_ts_us > delta_us;
         if (timed_out) {
@@ -128,6 +156,7 @@ int Pipeline::process(const traffic::Packet& p, SimStats& stats) {
           // the same features the FL rules were trained on. The packet
           // itself still gets a PL verdict (its FL epoch just began).
           count(stats, Path::kBlue);
+          path = Path::kBlue;
           finalize_flow(p, flow_key, st, stats);
           st.update(p, store_.signature(p.ft));
           verdict = classify_pl(p);
@@ -136,11 +165,13 @@ int Pipeline::process(const traffic::Packet& p, SimStats& stats) {
           if (cfg_.packet_threshold_n > 0 && st.pkt_count >= cfg_.packet_threshold_n) {
             // --- blue (n-th packet) ----------------------------------------
             count(stats, Path::kBlue);
+            path = Path::kBlue;
             finalize_flow(p, flow_key, st, stats);
             verdict = st.label;
           } else {
             // --- brown -----------------------------------------------------
             count(stats, Path::kBrown);
+            path = Path::kBrown;
             verdict = classify_pl(p);
           }
         }
@@ -158,7 +189,20 @@ int Pipeline::process(const traffic::Packet& p, SimStats& stats) {
       // Detection already happened for this flow but enforcement has not
       // landed (install in flight, lost, or the flow label was evicted).
       ++stats.faults.leaked_packets;
+      obs_.leaked_packets.inc();
     }
+  }
+  if (obs_.enabled) {
+    const std::size_t pi = static_cast<std::size_t>(path);
+    obs_.path_packets[pi].inc();
+    obs_.flow_occupancy.set(static_cast<double>(slots_claimed_));
+    obs_.blacklist_occupancy.set(static_cast<double>(blacklist_.size()));
+    const std::size_t ev = blacklist_.evictions();
+    if (ev != last_evictions_) {
+      obs_.blacklist_evictions.inc(ev - last_evictions_);
+      last_evictions_ = ev;
+    }
+    timer.set(obs_.path_ns[pi]);
   }
   return verdict;
 }

@@ -1,7 +1,10 @@
 #include "switchsim/replay.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <numeric>
 #include <stdexcept>
+#include <string>
 
 #include "ml/parallel.hpp"
 
@@ -71,12 +74,47 @@ ShardedReplayResult replay_sharded(const traffic::Trace& trace, const PipelineCo
   ShardedReplayResult out;
   out.per_shard.resize(k);
   std::vector<SimStats>& shard_stats = out.per_shard;
+
+  // Observability (DESIGN.md §4d): each shard gets its own instrument
+  // namespace ("<prefix>.shard3.*") so concurrent pipelines never share an
+  // instrument and every non-"timing." key stays byte-deterministic. Shard
+  // wall times land under "timing." — wall clock is the one thing that may
+  // differ run to run.
+  const bool obs_on = cfg.metrics != nullptr && cfg.metrics->enabled();
+  std::vector<PipelineConfig> shard_cfgs;
+  std::vector<obs::Gauge> shard_wall_ns(k);
+  obs::Gauge imbalance;
+  if (obs_on) {
+    shard_cfgs.assign(k, cfg);
+    for (std::size_t s = 0; s < k; ++s) {
+      const std::string sp = cfg.metrics_prefix + ".shard" + std::to_string(s);
+      shard_cfgs[s].metrics_prefix = sp;
+      shard_wall_ns[s] = cfg.metrics->gauge("timing." + sp + ".wall_ns");
+    }
+    imbalance = cfg.metrics->gauge("timing." + cfg.metrics_prefix + ".shard_imbalance");
+  }
+
   // One thread per shard is plenty: each task is a full sequential replay.
   ml::ThreadPool pool(std::min(ml::resolve_threads(rcfg.num_threads), k));
+  if (obs_on) pool.set_metrics(cfg.metrics, cfg.metrics_prefix + ".pool");
+  std::vector<double> wall_ns(k, 0.0);
   pool.parallel_for(k, [&](std::size_t s) {
-    Pipeline pipe(cfg, model);
+    const auto t0 = std::chrono::steady_clock::now();
+    Pipeline pipe(obs_on ? shard_cfgs[s] : cfg, model);
     shard_stats[s] = pipe.run(parts[s]);
+    if (obs_on) {
+      wall_ns[s] = static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                           std::chrono::steady_clock::now() - t0)
+                                           .count());
+      shard_wall_ns[s].set(wall_ns[s]);
+    }
   });
+  if (obs_on) {
+    // Imbalance ratio: slowest shard over mean shard wall time (1.0 = even).
+    const double sum = std::accumulate(wall_ns.begin(), wall_ns.end(), 0.0);
+    const double mx = *std::max_element(wall_ns.begin(), wall_ns.end());
+    imbalance.set(sum > 0.0 ? mx * static_cast<double>(k) / sum : 0.0);
+  }
 
   out.stats = merge_stats(shard_stats);
   if (cfg.record_labels) {

@@ -118,6 +118,48 @@ TEST_F(AllocPathTest, BrownPathAllocatesNothing) {
   EXPECT_EQ(st.path(Path::kBrown), 5001u);
 }
 
+TEST_F(AllocPathTest, SteadyStateStaysAllocationFreeWithMetricsEnabled) {
+  if (!harness::alloc_counting_active()) {
+    GTEST_SKIP() << "sanitizer build owns the allocator";
+  }
+  // The observability layer (DESIGN.md §4d) registers instruments at
+  // construction; per packet it is counter increments, a gauge store, and a
+  // histogram bucket increment — the zero-allocation invariant must hold
+  // with metrics on.
+  obs::Registry metrics;
+  PipelineConfig cfg;
+  cfg.packet_threshold_n = 4;
+  cfg.idle_timeout_delta = 1e6;
+  cfg.record_labels = false;
+  cfg.match_engine = MatchEngine::kCompiled;
+  cfg.metrics = &metrics;
+  const auto dm = model();
+  Pipeline pipe(cfg, dm);
+  SimStats st;
+  double ts = 0.0;
+  for (int i = 0; i < 4; ++i) pipe.process(mk(ts += 0.001, 100, 1, 1000), st);
+  for (int i = 0; i < 4; ++i) pipe.process(mk(ts += 0.001, 1400, 2, 2000, true), st);
+  pipe.process(mk(ts += 0.001, 100, 3, 3000), st);  // flush the pending install
+  ASSERT_EQ(st.flows_classified, 2u);
+  ASSERT_EQ(pipe.blacklist().size(), 1u);
+
+  const std::size_t before = harness::alloc_count();
+  for (int i = 0; i < 5000; ++i) {
+    pipe.process(mk(ts += 0.0001, 100, 1, 1000), st);        // purple
+    pipe.process(mk(ts += 0.0001, 1400, 2, 2000, true), st); // red
+  }
+  const std::size_t delta = harness::alloc_count() - before;
+  EXPECT_EQ(delta, 0u) << "metrics-on steady state allocated " << delta << " times";
+
+#if !defined(IGUARD_OBS_OFF)  // instruments compiled out: nothing to snapshot
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.scalars.at("pipeline.path.purple.packets"),
+            static_cast<double>(st.path(Path::kPurple)));
+  EXPECT_EQ(snap.scalars.at("pipeline.path.red.packets"),
+            static_cast<double>(st.path(Path::kRed)));
+#endif
+}
+
 TEST_F(AllocPathTest, RecordLabelsOnIsTheOnlySteadyStateAllocator) {
   if (!harness::alloc_counting_active()) {
     GTEST_SKIP() << "sanitizer build owns the allocator";

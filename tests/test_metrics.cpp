@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
+
+#include "ml/rng.hpp"
 
 namespace iguard::eval {
 namespace {
@@ -106,6 +109,80 @@ TEST(Metrics, SizeMismatchThrows) {
   const std::vector<double> score = {0.1};
   EXPECT_THROW(roc_auc(truth, score), std::invalid_argument);
   EXPECT_THROW(pr_auc(truth, score), std::invalid_argument);
+}
+
+// --- best_f1_threshold: O(n log n) sweep vs the original O(n*d) scan ------
+
+/// The pre-optimisation implementation, kept verbatim as the reference: for
+/// every candidate threshold it re-labels all n samples and recomputes
+/// macro-F1 from scratch. The production sweep must match it bit for bit.
+double best_f1_threshold_reference(std::span<const int> truth, std::span<const double> score) {
+  std::vector<double> s(score.begin(), score.end());
+  std::sort(s.begin(), s.end());
+  s.erase(std::unique(s.begin(), s.end()), s.end());
+
+  std::vector<int> pred(truth.size());
+  double best_thr = s.front() - 1.0;
+  double best = -1.0;
+  auto try_thr = [&](double thr) {
+    for (std::size_t i = 0; i < truth.size(); ++i) pred[i] = score[i] > thr ? 1 : 0;
+    const double f1 = macro_f1(truth, pred);
+    if (f1 > best) {
+      best = f1;
+      best_thr = thr;
+    }
+  };
+  try_thr(s.front() - 1.0);
+  for (std::size_t i = 0; i + 1 < s.size(); ++i) try_thr(0.5 * (s[i] + s[i + 1]));
+  try_thr(s.back() + 1.0);
+  return best_thr;
+}
+
+TEST(BestF1Threshold, HandComputedSeparation) {
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<double> score = {0.1, 0.4, 0.6, 0.9};
+  const double thr = best_f1_threshold(truth, score);
+  EXPECT_DOUBLE_EQ(thr, 0.5);  // midpoint of the separating gap
+  EXPECT_DOUBLE_EQ(evaluate_scores(truth, score, thr).macro_f1, 1.0);
+}
+
+TEST(BestF1Threshold, MatchesReferenceOnRandomizedInputs) {
+  ml::Rng rng(0xF1F1u);
+  std::size_t cases = 0;
+  // Sweep sizes, class skews, and score distributions — including heavy
+  // ties (few distinct quantised levels), negative scores, huge-magnitude
+  // scores where `min - 1.0 == min` in double arithmetic (the FP edge the
+  // sweep pointer must replicate), and single-class labels.
+  for (int rep = 0; rep < 300; ++rep) {
+    for (const int dist : {0, 1, 2, 3}) {
+      const std::size_t n = 1 + rng.index(40);
+      std::vector<int> truth(n);
+      std::vector<double> score(n);
+      const double pos_rate = rng.uniform(0.0, 1.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        truth[i] = rng.uniform(0.0, 1.0) < pos_rate ? 1 : 0;
+        switch (dist) {
+          case 0:  // continuous, mildly class-separated
+            score[i] = rng.uniform(0.0, 1.0) + 0.3 * truth[i];
+            break;
+          case 1:  // heavy ties: 4 distinct levels
+            score[i] = static_cast<double>(rng.index(4));
+            break;
+          case 2:  // negative and positive
+            score[i] = rng.uniform(-5.0, 5.0);
+            break;
+          default:  // huge magnitudes: min - 1.0 rounds back to min
+            score[i] = 1e300 * (1.0 + 0.5 * static_cast<double>(rng.index(3)));
+            break;
+        }
+      }
+      const double fast = best_f1_threshold(truth, score);
+      const double ref = best_f1_threshold_reference(truth, score);
+      ASSERT_EQ(fast, ref) << "case " << cases << " dist " << dist << " n " << n;
+      ++cases;
+    }
+  }
+  EXPECT_GE(cases, 1000u);
 }
 
 }  // namespace

@@ -504,5 +504,82 @@ TEST_F(PipelineTest, PerPacketRecordsAligned) {
   EXPECT_EQ(st.truth.size(), 50u);
 }
 
+// --- timestamp-cast train/deploy skew regression --------------------------
+// The pipeline used to cast p.ts * 1e6 straight to uint64_t: a negative
+// timestamp (pcap clock skew, pre-epoch captures) wrapped to a huge value
+// and force-fired the idle timeout, finalising epochs the training-side
+// extractor (which clamps via to_us) never saw. Both sides must share the
+// same clamp.
+
+TEST_F(PipelineTest, NegativeTimestampsDoNotForceIdleTimeout) {
+  PipelineConfig cfg;
+  cfg.packet_threshold_n = 0;    // threshold finalisation disabled
+  cfg.idle_timeout_delta = 10.0; // only a real 10 s gap may finalise
+  Pipeline pipe = make(cfg);
+  SimStats st;
+  // Five closely-spaced packets with negative timestamps: one live epoch,
+  // nothing idle. Pre-fix, every packet after the first "timed out" (the
+  // wrapped cast made now_us - last_ts_us astronomically large).
+  for (int i = 0; i < 5; ++i) pipe.process(mk(-5.0 + 0.1 * i, 100), st);
+  EXPECT_EQ(st.flows_classified, 0u);
+  EXPECT_EQ(st.path(Path::kBlue), 0u);
+  EXPECT_EQ(st.path(Path::kBrown), 5u);
+}
+
+TEST_F(PipelineTest, NegativeAndOutOfOrderEpochBoundariesMatchExtractor) {
+  // Three flows, each exactly packet_threshold_n packets, with negative and
+  // out-of-order timestamps. Epoch boundaries must land where the training
+  // extractor puts them: one finalisation per flow, at the n-th packet.
+  //
+  // Classification counts alone cannot discriminate (the pre-fix pipeline
+  // also happened to classify each flow once — just at the wrong packet, on
+  // a truncated epoch). So the whitelist here admits only epochs whose
+  // pkt_count feature is >= 3: a pipeline that finalises early produces a
+  // 1- or 2-packet epoch, gets a malicious label, and shows up in fp/drops.
+  rules::Quantizer quant{16};
+  ml::Matrix fake(2, kSwitchFlFeatures);
+  for (std::size_t j = 0; j < kSwitchFlFeatures; ++j) {
+    fake(0, j) = 0.0;
+    fake(1, j) = j == 0 ? 8.0 : 1e6;  // tight pkt_count range: 1 vs 3 resolve
+  }
+  quant.fit(fake);
+  core::VoteWhitelist wl;
+  wl.tree_count = 1;
+  std::vector<rules::FieldRange> box(kSwitchFlFeatures, {0, quant.domain_max()});
+  box[0] = {quant.quantize_value(0, 3.0), quant.domain_max()};
+  wl.tables.emplace_back(std::vector<rules::RangeRule>{{box, 0, 0}});
+  DeployedModel dm;
+  dm.fl_tables = &wl;
+  dm.fl_quantizer = &quant;
+
+  PipelineConfig cfg;
+  cfg.packet_threshold_n = 3;
+  cfg.idle_timeout_delta = 10.0;
+  traffic::Trace t;
+  const double starts[3] = {-4.0, -0.1, 2.0};
+  for (int f = 0; f < 3; ++f) {
+    const auto src = static_cast<std::uint32_t>(10 + f);
+    const auto sport = static_cast<std::uint16_t>(2000 + f);
+    t.packets.push_back(mk(starts[f], 100, src, sport));
+    t.packets.push_back(mk(starts[f] + 0.2, 100, src, sport));
+    t.packets.push_back(mk(starts[f] - 0.3, 100, src, sport));  // out of order
+  }
+  const auto features = extract_switch_features(t, cfg.packet_threshold_n,
+                                                cfg.idle_timeout_delta, 1);
+  ASSERT_EQ(features.x.rows(), 3u);
+  for (std::size_t r = 0; r < features.x.rows(); ++r) {
+    ASSERT_EQ(features.x(r, 0), 3.0);  // every training epoch spans 3 packets
+  }
+  Pipeline pipe(cfg, dm);
+  const auto st = pipe.run(t);
+  EXPECT_EQ(st.flows_classified, features.x.rows());
+  EXPECT_EQ(st.path(Path::kBlue), 3u);
+  // Deployment saw the same 3-packet epochs, so the >=3-packets whitelist
+  // admits every flow: no malicious verdicts, no drops, no red path.
+  EXPECT_EQ(st.tp + st.fp, 0u);
+  EXPECT_EQ(st.dropped, 0u);
+  EXPECT_EQ(st.path(Path::kRed), 0u);
+}
+
 }  // namespace
 }  // namespace iguard::switchsim
