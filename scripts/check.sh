@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Full verification sweep: build + ctest plain, then under each sanitizer.
-# Usage: scripts/check.sh [--fast|--bench-smoke|--obs-smoke|--csv-drift]
+# Usage: scripts/check.sh [--fast|--bench-smoke|--obs-smoke|--swap-smoke|--csv-drift]
 #   --fast         plain build/test only (skip the sanitizer matrix)
 #   --bench-smoke  Release build + bench_throughput --smoke: fails if the
 #                  compiled match engine diverges from the linear scan, if
@@ -9,6 +9,11 @@
 #   --obs-smoke    Release build + examples/switch_deployment twice: fails if
 #                  any non-timing.* key of the observability snapshot differs
 #                  between the two identical runs (DESIGN.md §4d determinism)
+#   --swap-smoke   Release build + bench_model_swap --smoke twice: fails on
+#                  any swap-gate violation (non-determinism, data-plane
+#                  perturbation, packet/mirror loss, no publish, steady-state
+#                  allocations) or if the swap.* observability snapshot is
+#                  not byte-identical across the two runs (DESIGN.md §4e)
 #   --csv-drift    Release build + regenerate the committed fig*/table*/b*
 #                  CSVs in a scratch dir: fails if any regenerated CSV
 #                  differs from the committed copy (stale-artifact gate)
@@ -91,6 +96,53 @@ print("obs-smoke OK: non-timing snapshot byte-identical across runs")
 EOF
 }
 
+swap_smoke() {
+  local dir="build-check-bench"
+  echo "=== swap-smoke (Release) ==="
+  release_build bench_model_swap
+  local a="${dir}/swap-run-a" b="${dir}/swap-run-b"
+  rm -rf "${a}" "${b}"
+  mkdir -p "${a}" "${b}"
+  # The bench itself exits non-zero on any swap-gate violation; run it twice
+  # so the observability artifact can be compared across identical runs.
+  (cd "${a}" && ../bench/bench_model_swap --smoke --out BENCH_model_swap_smoke.json)
+  (cd "${b}" && ../bench/bench_model_swap --smoke --out BENCH_model_swap_smoke.json >/dev/null)
+  # Artifact sanity: verdict fields present and true.
+  python3 - "${a}/BENCH_model_swap_smoke.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    j = json.load(f)
+for key in ("drift_run", "swap_overhead_ns_per_packet",
+            "steady_state_allocs_per_packet", "swap_deterministic",
+            "hitless_noop_equivalent", "no_packet_loss", "drift_swapped"):
+    assert key in j, f"BENCH_model_swap json missing {key!r}"
+assert j["swap_deterministic"] is True, "swap replay non-deterministic"
+assert j["hitless_noop_equivalent"] is True, "un-triggered loop perturbed the data plane"
+assert j["no_packet_loss"] is True, "packet/mirror accounting does not balance"
+assert j["drift_swapped"] is True, "drifting workload never published"
+assert j["steady_state_allocs_per_packet"] == 0, "swap-enabled steady state allocates"
+assert j["drift_run"]["final_version"] == 1 + j["drift_run"]["publishes"], \
+    "version clock out of step with publishes"
+print("swap-smoke artifact OK:", sys.argv[1])
+EOF
+  # Swap metrics obey the §4d policy: wall-clock under timing.*, everything
+  # else byte-deterministic — including the swap.* counters and the
+  # drift miss-rate series published by the swap loop.
+  python3 - "${a}/BENCH_model_swap_obs.json" "${b}/BENCH_model_swap_obs.json" <<'EOF'
+import json, sys
+def non_timing(path):
+    with open(path) as f:
+        j = json.load(f)
+    j["scalars"] = {k: v for k, v in j["scalars"].items() if not k.startswith("timing.")}
+    j["series"] = {k: v for k, v in j.get("series", {}).items() if not k.startswith("timing.")}
+    return json.dumps(j, sort_keys=True)
+a, b = non_timing(sys.argv[1]), non_timing(sys.argv[2])
+assert '.swap.' in a, "snapshot has no swap-loop instruments"
+assert a == b, "non-timing swap snapshot keys differ between identical runs"
+print("swap-smoke OK: non-timing swap snapshot byte-identical across runs")
+EOF
+}
+
 # The committed paper artifacts regenerated by --csv-drift, with the bench
 # that writes each. ablation.csv / consistency.csv are sweep-style artifacts
 # outside the fig*/table*/b* set and are not gated.
@@ -136,6 +188,11 @@ fi
 if [[ "${1:-}" == "--obs-smoke" ]]; then
   obs_smoke
   echo "=== obs smoke passed ==="
+  exit 0
+fi
+if [[ "${1:-}" == "--swap-smoke" ]]; then
+  swap_smoke
+  echo "=== swap smoke passed ==="
   exit 0
 fi
 if [[ "${1:-}" == "--csv-drift" ]]; then

@@ -23,13 +23,12 @@ std::size_t WhitelistUpdater::observe_benign(std::span<const std::uint32_t> key)
   for (auto& table : wl_->tables) {
     if (table.match(key).has_value()) continue;
     all_covered = false;
-    if (extensions_ >= cfg_.max_updates) {
-      ++rejected_by_budget_;
-      continue;
-    }
 
     // Nearest rule by total gap, admissible only if every per-field gap
-    // fits the extension budget.
+    // fits the extension budget. The admissibility scan runs BEFORE the
+    // update-budget check: a table with no admissible nearest rule would
+    // never have been extended, so counting it as rejected_by_budget would
+    // overstate the drift signal the swap controller consumes.
     std::size_t best = table.size();
     std::uint64_t best_total = std::numeric_limits<std::uint64_t>::max();
     for (std::size_t r = 0; r < table.size(); ++r) {
@@ -47,6 +46,10 @@ std::size_t WhitelistUpdater::observe_benign(std::span<const std::uint32_t> key)
       }
     }
     if (best == table.size()) continue;  // nothing close enough: leave table
+    if (extensions_ >= cfg_.max_updates) {
+      ++rejected_by_budget_;  // a genuinely refused admissible extension
+      continue;
+    }
 
     // Stretch the chosen rule in place (RuleTable keeps priority order;
     // field mutation does not change priorities).

@@ -41,9 +41,11 @@ class WhitelistUpdater {
   /// True once the max_updates safety valve has closed: no further rule
   /// extensions will be applied, the whitelist is frozen.
   bool budget_exhausted() const { return extensions_ >= cfg_.max_updates; }
-  /// Table extensions that would have been attempted but were refused
-  /// because the budget was spent — operators watch this to see the valve
-  /// closing (a steadily rising count means the model is drifting).
+  /// Admissible table extensions refused solely because the budget was
+  /// spent — operators (and the drift detector, core/model_swap.hpp) watch
+  /// this to see the valve closing. Tables with no admissible nearest rule
+  /// are NOT counted: they would never have been extended regardless of
+  /// budget, and counting them would overstate the drift signal.
   std::size_t rejected_by_budget() const { return rejected_by_budget_; }
 
  private:

@@ -55,8 +55,50 @@ void Controller::on_digest(const Digest& d, double ts_s) {
     delay += cfg_.faults.digest_delay_s;
     ++stats_.delayed_digests;
   }
-  channel_.push(Event{d, ts_s, ts_s + delay, 0, seq_++});
+  Event ev;
+  ev.digest = d;
+  ev.enqueue_ts = ts_s;
+  ev.due_ts = ts_s + delay;
+  ev.seq = seq_++;
+  channel_.push(ev);
   ++channel_backlog_;
+  stats_.backlog_hwm = std::max(stats_.backlog_hwm, channel_backlog_);
+  obs_.backlog.observe(static_cast<double>(channel_backlog_));
+}
+
+void Controller::on_benign_mirror(const BenignMirror& m, double ts_s) {
+  // Mirrors traverse the same channel as digests (shared capacity, shared
+  // crash windows, same loss/delay rates) but consume their own fault
+  // streams so enabling the update path never perturbs an existing
+  // workload's digest fault sequence.
+  bytes_ += BenignMirror::kBytes;
+  if (injector_.down_at(ts_s)) {
+    ++stats_.mirrors_lost;
+    return;
+  }
+  if (injector_.drop_mirror()) {
+    ++stats_.mirrors_lost;
+    return;
+  }
+  if (cfg_.channel_capacity > 0 && channel_backlog_ >= cfg_.channel_capacity) {
+    ++stats_.mirrors_lost;
+    ++stats_.channel_overflow_drops;
+    return;
+  }
+  double delay = cfg_.control_latency_s;
+  if (injector_.delay_mirror()) {
+    delay += cfg_.faults.digest_delay_s;
+    ++stats_.delayed_mirrors;
+  }
+  Event ev;
+  ev.mirror = m;
+  ev.is_mirror = true;
+  ev.enqueue_ts = ts_s;
+  ev.due_ts = ts_s + delay;
+  ev.seq = seq_++;
+  channel_.push(ev);
+  ++channel_backlog_;
+  ++stats_.mirrors_enqueued;
   stats_.backlog_hwm = std::max(stats_.backlog_hwm, channel_backlog_);
   obs_.backlog.observe(static_cast<double>(channel_backlog_));
 }
@@ -95,7 +137,16 @@ void Controller::run_recovery(double ts_s) {
 void Controller::deliver(const Event& e) {
   if (e.attempt == 0 && channel_backlog_ > 0) --channel_backlog_;
   if (injector_.down_at(e.due_ts)) {
-    ++stats_.digests_lost_to_crash;
+    if (e.is_mirror) {
+      ++stats_.mirrors_lost;
+    } else {
+      ++stats_.digests_lost_to_crash;
+    }
+    return;
+  }
+  if (e.is_mirror) {
+    ++stats_.mirrors_delivered;
+    if (sink_ != nullptr) sink_->on_benign_mirror(e.mirror, e.due_ts);
     return;
   }
   if (e.digest.label != 1) return;  // benign digests carry no install
@@ -110,8 +161,13 @@ void Controller::deliver(const Event& e) {
     }
     ++stats_.install_retries;
     obs_.install_retries.inc();
-    channel_.push(Event{e.digest, e.enqueue_ts, e.due_ts + backoff_delay(attempt), attempt,
-                        seq_++});
+    Event retry;
+    retry.digest = e.digest;
+    retry.enqueue_ts = e.enqueue_ts;
+    retry.due_ts = e.due_ts + backoff_delay(attempt);
+    retry.attempt = attempt;
+    retry.seq = seq_++;
+    channel_.push(retry);
     return;
   }
   blacklist_->install(e.digest.ft);

@@ -18,6 +18,7 @@
 // packets after i, and the event clock preserves exactly that order.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -30,6 +31,30 @@
 #include "switchsim/tables.hpp"
 
 namespace iguard::switchsim {
+
+/// Egress mirror of one benign flow's FL features (Fig. 1 step 12 — "FL
+/// features from benign traffic may be used to update the whitelist rules
+/// table"): the quantised whitelist key the data plane matched plus the raw
+/// integer-finalised features, so the control plane can both stretch rules
+/// (core/online_update.hpp) and retain rows for re-distillation
+/// (core/model_swap.hpp). Mirrors ride the same control channel as digests
+/// and are subject to the same latency, capacity, and fault programme.
+struct BenignMirror {
+  std::array<std::uint32_t, kSwitchFlFeatures> key{};
+  std::array<double, kSwitchFlFeatures> features{};
+
+  /// Wire size: 13 quantised 16-bit feature levels.
+  static constexpr std::size_t kBytes = 2 * kSwitchFlFeatures;
+};
+
+/// Control-plane consumer of delivered benign mirrors (the whitelist-update
+/// half of the model-swap loop). Callbacks arrive on the controller's event
+/// clock, in delivery order.
+class WhitelistUpdateSink {
+ public:
+  virtual ~WhitelistUpdateSink() = default;
+  virtual void on_benign_mirror(const BenignMirror& m, double deliver_ts_s) = 0;
+};
 
 /// splitmix64 (Steele et al.) — tiny, seedable, bit-identical everywhere;
 /// each fault decision type owns an independent stream so enabling one fault
@@ -93,11 +118,18 @@ class FaultInjector {
       : cfg_(cfg),
         drop_(cfg.seed ^ 0xD1E57D20Full),
         delay_(cfg.seed ^ 0x0DE1A7EDull),
-        install_(cfg.seed ^ 0x1357A11Full) {}
+        install_(cfg.seed ^ 0x1357A11Full),
+        mirror_drop_(cfg.seed ^ 0x3AB1E0F5ull),
+        mirror_delay_(cfg.seed ^ 0x7E1A9D02ull) {}
 
   bool drop_digest() { return drop_.chance(cfg_.digest_loss_rate); }
   bool delay_digest() { return delay_.chance(cfg_.digest_delay_rate); }
   bool fail_install() { return install_.chance(cfg_.install_failure_rate); }
+  /// Benign mirrors share the digest loss/delay *rates* (same channel) but
+  /// draw from their own streams, so enabling the mirror path never perturbs
+  /// the digest fault sequence of an existing workload.
+  bool drop_mirror() { return mirror_drop_.chance(cfg_.digest_loss_rate); }
+  bool delay_mirror() { return mirror_delay_.chance(cfg_.digest_delay_rate); }
 
   /// True while ts falls inside any configured crash window.
   bool down_at(double ts_s) const {
@@ -108,11 +140,22 @@ class FaultInjector {
     return false;
   }
 
+  /// Earliest time >= ts_s at which the controller is up, chaining through
+  /// back-to-back crash windows (sorted by start, so one pass suffices).
+  double up_after(double ts_s) const {
+    double t = ts_s;
+    for (const auto& w : cfg_.crashes) {
+      if (t >= w.start_s && t < w.end_s()) t = w.end_s();
+    }
+    return t;
+  }
+
   const FaultConfig& config() const { return cfg_; }
 
  private:
   FaultConfig cfg_;
   SplitMix64 drop_, delay_, install_;
+  SplitMix64 mirror_drop_, mirror_delay_;
 };
 
 /// Control-channel + controller behaviour knobs. Defaults reproduce the old
@@ -150,6 +193,11 @@ struct FaultStats {
   /// already been classified malicious — detection happened, enforcement
   /// had not landed yet.
   std::size_t leaked_packets = 0;
+  // Benign-mirror channel (whitelist-update path, core/model_swap.hpp).
+  std::size_t mirrors_enqueued = 0;   // accepted into the channel
+  std::size_t mirrors_delivered = 0;  // handed to the whitelist-update sink
+  std::size_t mirrors_lost = 0;       // crash loss + injected loss + overflow
+  std::size_t delayed_mirrors = 0;
 };
 
 /// Event-clocked, fault-aware controller. The data plane enqueues digests
@@ -173,6 +221,22 @@ class Controller {
   /// controller down) — all counted.
   void on_digest(const Digest& d, double ts_s);
 
+  /// Data-plane side: submit one benign egress mirror (Fig. 1 step 12).
+  /// Shares the digest channel's latency, capacity, and crash windows but
+  /// draws faults from independent streams; delivered mirrors are handed to
+  /// the registered WhitelistUpdateSink on the event clock. Without a sink
+  /// the mirror is still transported and counted (delivered-to-nobody).
+  void on_benign_mirror(const BenignMirror& m, double ts_s);
+
+  /// Register the control-plane consumer of delivered mirrors (caller-owned,
+  /// may be null to detach).
+  void set_update_sink(WhitelistUpdateSink* sink) { sink_ = sink; }
+
+  /// True while ts falls inside a configured crash window.
+  bool down_at(double ts_s) const { return injector_.down_at(ts_s); }
+  /// Earliest time >= ts_s the controller is up (end of any crash chain).
+  double up_after(double ts_s) const { return injector_.up_after(ts_s); }
+
   /// Deliver every queued event due at or before now_s, processing crash
   /// restarts (and their recovery sweeps) in time order along the way.
   void advance_to(double now_s);
@@ -191,6 +255,8 @@ class Controller {
  private:
   struct Event {
     Digest digest;
+    BenignMirror mirror;
+    bool is_mirror = false;
     double enqueue_ts = 0.0;
     double due_ts = 0.0;
     std::uint32_t attempt = 0;   // 0 = first delivery, >0 = install retry
@@ -222,6 +288,7 @@ class Controller {
   BlacklistTable* blacklist_;
   ControlPlaneConfig cfg_;
   const FlowStore* store_;
+  WhitelistUpdateSink* sink_ = nullptr;
   FaultInjector injector_;
   Obs obs_;
   std::priority_queue<Event, std::vector<Event>, Later> channel_;

@@ -37,7 +37,21 @@ Pipeline::Pipeline(const PipelineConfig& cfg, const DeployedModel& model)
     obs_.blacklist_evictions = cfg_.metrics->counter(p + ".blacklist.evictions");
     obs_.leaked_packets = cfg_.metrics->counter(p + ".leaked_packets");
   }
-  if (cfg_.match_engine == MatchEngine::kCompiled) {
+  if (cfg_.swap.enabled) {
+    // Snapshot the deployed model into version 1 of the swap loop's handle:
+    // published bundles own their tables, so online updates can never mutate
+    // what the data plane is reading (the stale compiled-whitelist skew).
+    core::VoteWhitelist pl =
+        model_.pl_tables != nullptr ? *model_.pl_tables : core::VoteWhitelist{};
+    rules::Quantizer pl_q =
+        model_.pl_quantizer != nullptr ? *model_.pl_quantizer : rules::Quantizer{16};
+    auto initial = core::build_bundle(1, *model_.fl_tables, *model_.fl_quantizer,
+                                      std::move(pl), std::move(pl_q));
+    swap_ = std::make_unique<SwapLoop>(cfg_.swap, std::move(initial), controller_,
+                                       cfg_.metrics, cfg_.metrics_prefix);
+    controller_.set_update_sink(swap_.get());
+    bind_bundle(swap_->pin_current());
+  } else if (cfg_.match_engine == MatchEngine::kCompiled) {
     if (model_.fl_compiled != nullptr) {
       fl_engine_ = model_.fl_compiled;
     } else {
@@ -53,6 +67,16 @@ Pipeline::Pipeline(const PipelineConfig& cfg, const DeployedModel& model)
   }
 }
 
+void Pipeline::bind_bundle(const core::ModelBundle* b) {
+  bound_ = b;
+  model_.fl_tables = &b->fl;
+  model_.fl_quantizer = &b->fl_q;
+  model_.pl_tables = b->has_pl() ? &b->pl : nullptr;
+  model_.pl_quantizer = b->has_pl() ? &b->pl_q : nullptr;
+  fl_engine_ = &b->fl_compiled;
+  pl_engine_ = b->has_pl() ? &b->pl_compiled : nullptr;
+}
+
 int Pipeline::classify_pl(const traffic::Packet& p) const {
   if (model_.pl_tables == nullptr || model_.pl_quantizer == nullptr) return 0;
   const double f[kPlFeatures] = {static_cast<double>(p.ft.dst_port),
@@ -64,17 +88,14 @@ int Pipeline::classify_pl(const traffic::Packet& p) const {
                                                      : model_.pl_tables->classify(key);
 }
 
-int Pipeline::classify_fl(const IntFlowState& st) const {
+void Pipeline::finalize_flow(const traffic::Packet& p, std::uint64_t flow_key, IntFlowState& st,
+                             SimStats& stats) {
   const auto f = st.finalize();
   std::array<std::uint32_t, kSwitchFlFeatures> key;
   model_.fl_quantizer->quantize_into(f, key);
-  return cfg_.match_engine == MatchEngine::kCompiled ? fl_engine_->classify(key)
-                                                     : model_.fl_tables->classify(key);
-}
-
-void Pipeline::finalize_flow(const traffic::Packet& p, std::uint64_t flow_key, IntFlowState& st,
-                             SimStats& stats) {
-  const int label = classify_fl(st);
+  const int label = cfg_.match_engine == MatchEngine::kCompiled
+                        ? fl_engine_->classify(key)
+                        : model_.fl_tables->classify(key);
   st.label = static_cast<std::int8_t>(label);
   ++stats.flows_classified;
   // Digest (5-tuple + label) regardless of match outcome (§2, step 10a),
@@ -85,6 +106,12 @@ void Pipeline::finalize_flow(const traffic::Packet& p, std::uint64_t flow_key, I
   if (label == 0) {
     // Egress mirror of benign FL features to the CPU for whitelist updates.
     ++stats.benign_feature_mirrors;
+    if (swap_ != nullptr) {
+      BenignMirror m;
+      m.key = key;
+      for (std::size_t j = 0; j < kSwitchFlFeatures; ++j) m.features[j] = f[j];
+      controller_.on_benign_mirror(m, p.ts);
+    }
   }
   st.clear_features();
   // Mirror to loopback to commit the label (green path, simulated inline).
@@ -102,6 +129,12 @@ int Pipeline::process(const traffic::Packet& p, SimStats& stats) {
   // with zero latency and no faults this is exactly the lockstep model (an
   // install triggered by packet i has always only affected packets > i).
   controller_.advance_to(p.ts);
+  if (swap_ != nullptr) {
+    // Hitless pickup: publish anything due by now, then pin. Rebinding only
+    // happens on a version change, so the steady state is two atomic ops.
+    const core::ModelBundle* b = swap_->advance_and_pin(p.ts);
+    if (b != bound_) bind_bundle(b);
+  }
   ++stats.packets;
   const std::uint8_t truth = p.malicious ? 1 : 0;
   if (cfg_.record_labels) stats.truth.push_back(truth);
@@ -215,6 +248,13 @@ SimStats Pipeline::run(const traffic::Trace& trace) {
   }
   for (const auto& p : trace.packets) process(p, stats);
   controller_.flush();
+  if (swap_ != nullptr) {
+    // The flush above may have delivered late mirrors that triggered one
+    // more publish; finish() makes it live and reclaims retired versions.
+    swap_->finish();
+    bind_bundle(swap_->handle().current());
+    stats.swap = swap_->stats();
+  }
   const std::size_t leaked = stats.faults.leaked_packets;
   stats.faults = controller_.fault_stats();
   stats.faults.leaked_packets = leaked;

@@ -23,6 +23,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "rules/quantize.hpp"
 #include "switchsim/faults.hpp"
 #include "switchsim/registers.hpp"
+#include "switchsim/swap_loop.hpp"
 #include "switchsim/tables.hpp"
 
 namespace iguard::switchsim {
@@ -83,6 +85,12 @@ struct PipelineConfig {
   /// rewrites it per shard ("pipeline.shard3") so concurrent pipelines
   /// never share an instrument and non-timing keys stay deterministic.
   std::string metrics_prefix = "pipeline";
+  /// Adaptive model-swap loop (swap_loop.hpp). Disabled by default; when
+  /// enabled the deployed model is snapshotted into version 1 of a
+  /// core::ModelHandle, benign FL mirrors are delivered to the loop through
+  /// the control channel, and published versions are picked up hitlessly
+  /// with one pin() per packet.
+  SwapConfig swap{};
 };
 
 enum class Path : std::size_t { kRed = 0, kBrown, kBlue, kOrange, kPurple, kGreen };
@@ -102,6 +110,8 @@ struct SimStats {
   std::size_t collisions = 0;
   std::size_t flows_classified = 0;
   std::size_t benign_feature_mirrors = 0;  // egress mirror for rule updates
+  /// Model-swap accounting (swap_loop.hpp); all-zero when the loop is off.
+  SwapStats swap;
   /// Control-plane degradation accounting (faults.hpp). Channel-side
   /// counters are copied from the controller at end of run(); the
   /// leaked_packets field accumulates per packet during process().
@@ -138,12 +148,15 @@ class Pipeline {
   const Controller& controller() const { return controller_; }
   const BlacklistTable& blacklist() const { return blacklist_; }
   const FlowStore& flow_store() const { return store_; }
+  /// Null unless PipelineConfig::swap.enabled.
+  const SwapLoop* swap_loop() const { return swap_.get(); }
 
  private:
   int classify_pl(const traffic::Packet& p) const;
-  int classify_fl(const IntFlowState& st) const;
   void finalize_flow(const traffic::Packet& p, std::uint64_t flow_key, IntFlowState& st,
                      SimStats& stats);
+  /// Re-target the model/engine pointers at a newly pinned bundle version.
+  void bind_bundle(const core::ModelBundle* b);
 
   /// Handles into PipelineConfig::metrics; all default-inactive (no-op)
   /// when no registry is attached. Registered once at construction.
@@ -169,6 +182,11 @@ class Pipeline {
   FlowStore store_;
   BlacklistTable blacklist_;
   Controller controller_;
+  /// Present iff cfg_.swap.enabled; owns the versioned model handle. The
+  /// currently bound bundle is tracked so process() rebinds pointers only
+  /// when a pin returns a new version.
+  std::unique_ptr<SwapLoop> swap_;
+  const core::ModelBundle* bound_ = nullptr;
   /// Bi-hash keys of flows the data plane has classified malicious, with
   /// which leaked packets (admitted after classification) are detected.
   std::unordered_set<std::uint64_t> malicious_classified_;

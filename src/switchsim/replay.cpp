@@ -53,6 +53,26 @@ SimStats merge_stats(const std::vector<SimStats>& parts) {
     out.faults.digests_lost_to_crash += s.faults.digests_lost_to_crash;
     out.faults.recovery_installs += s.faults.recovery_installs;
     out.faults.leaked_packets += s.faults.leaked_packets;
+    out.faults.mirrors_enqueued += s.faults.mirrors_enqueued;
+    out.faults.mirrors_delivered += s.faults.mirrors_delivered;
+    out.faults.mirrors_lost += s.faults.mirrors_lost;
+    out.faults.delayed_mirrors += s.faults.delayed_mirrors;
+    out.swap.mirrors_applied += s.swap.mirrors_applied;
+    out.swap.extensions_applied += s.swap.extensions_applied;
+    out.swap.rejected_by_budget += s.swap.rejected_by_budget;
+    out.swap.drift_fires += s.swap.drift_fires;
+    out.swap.drift_miss_rate += s.swap.drift_miss_rate;
+    out.swap.drift_vote_shift += s.swap.drift_vote_shift;
+    out.swap.drift_rejected_slope += s.swap.drift_rejected_slope;
+    out.swap.rebuilds += s.swap.rebuilds;
+    out.swap.incremental_publishes += s.swap.incremental_publishes;
+    out.swap.publishes += s.swap.publishes;
+    out.swap.publishes_deferred_by_crash += s.swap.publishes_deferred_by_crash;
+    out.swap.coalesced_triggers += s.swap.coalesced_triggers;
+    out.swap.bundles_retired += s.swap.bundles_retired;
+    // Each shard swaps independently; the fleet's "version" is the furthest
+    // any shard got.
+    out.swap.final_version = std::max(out.swap.final_version, s.swap.final_version);
     out.pred.insert(out.pred.end(), s.pred.begin(), s.pred.end());
     out.truth.insert(out.truth.end(), s.truth.begin(), s.truth.end());
   }

@@ -1,0 +1,182 @@
+#include "switchsim/swap_loop.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace iguard::switchsim {
+
+SwapLoop::SwapLoop(const SwapConfig& cfg, std::shared_ptr<const core::ModelBundle> initial,
+                   Controller& ctl, obs::Registry* metrics, const std::string& metrics_prefix)
+    : cfg_(cfg),
+      ctl_(&ctl),
+      handle_(std::move(initial)),
+      reader_(handle_.register_reader()),
+      staging_fl_(handle_.current()->fl),
+      updater_(staging_fl_, cfg_.update),
+      drift_(cfg_.drift),
+      next_version_(handle_.version() + 1) {
+  if (cfg_.recent_capacity > 0) {
+    recent_ = ml::Matrix(cfg_.recent_capacity, kSwitchFlFeatures);
+  }
+  if (metrics != nullptr && metrics->enabled()) {
+    const std::string p = metrics_prefix + ".swap";
+    obs_.version = metrics->gauge(p + ".version");
+    obs_.publishes = metrics->counter(p + ".publishes");
+    obs_.drift_fires = metrics->counter(p + ".drift_fires");
+    obs_.extensions = metrics->counter(p + ".extensions");
+    obs_.rejected = metrics->counter(p + ".rejected_by_budget");
+    obs_.mirrors = metrics->counter(p + ".mirrors");
+    obs_.miss_rate =
+        metrics->series(p + ".miss_rate", 4096, std::max<std::size_t>(cfg_.drift.window, 1));
+    obs_.version.set(static_cast<double>(handle_.version()));
+  }
+}
+
+const core::ModelBundle* SwapLoop::pin_current() { return handle_.pin(reader_); }
+
+const core::ModelBundle* SwapLoop::advance_and_pin(double now_ts_s) {
+  if (pending_.has_value() && pending_->due_ts <= now_ts_s) {
+    const bool drift_triggered = pending_->drift_triggered;
+    handle_.publish(std::move(pending_->bundle));
+    pending_.reset();
+    if (!drift_triggered) ++stats_.incremental_publishes;
+    on_published();
+  }
+  const core::ModelBundle* b = handle_.pin(reader_);
+  if (needs_collect_) {
+    // The pin above moved this reader past the retired version, so the
+    // collect right after a swap reclaims it; the flag keeps the mutex off
+    // the steady-state path.
+    stats_.bundles_retired += handle_.collect();
+    if (handle_.retired_pending() == 0) needs_collect_ = false;
+  }
+  return b;
+}
+
+void SwapLoop::on_benign_mirror(const BenignMirror& m, double deliver_ts_s) {
+  ++stats_.mirrors_applied;
+  obs_.mirrors.inc();
+
+  // Residual miss profile of the *staging* whitelist (live rules + all
+  // extensions staged so far): while the updater keeps up, misses vanish as
+  // they are learned; sustained misses mean the extension budget no longer
+  // absorbs the drift — exactly the regime the detector must catch.
+  const double miss_fraction = staging_fl_.malicious_vote_fraction(m.key);
+  const bool fully_covered = miss_fraction == 0.0;
+  updater_.observe_benign(m.key);
+
+  if (recent_.rows() > 0) {
+    auto dst = recent_.row(recent_next_);
+    std::copy(m.features.begin(), m.features.end(), dst.begin());
+    recent_next_ = (recent_next_ + 1) % recent_.rows();
+    recent_rows_ = std::min(recent_rows_ + 1, recent_.rows());
+  }
+
+  if (updater_.extensions_applied() > obs_extensions_seen_) {
+    obs_.extensions.inc(updater_.extensions_applied() - obs_extensions_seen_);
+    obs_extensions_seen_ = updater_.extensions_applied();
+  }
+  if (updater_.rejected_by_budget() > obs_rejected_seen_) {
+    obs_.rejected.inc(updater_.rejected_by_budget() - obs_rejected_seen_);
+    obs_rejected_seen_ = updater_.rejected_by_budget();
+  }
+  obs_.miss_rate.observe(miss_fraction);
+
+  const core::DriftSignal signal =
+      drift_.observe(miss_fraction, fully_covered, updater_.rejected_by_budget());
+  if (signal != core::DriftSignal::kNone) {
+    ++stats_.drift_fires;
+    obs_.drift_fires.inc();
+    switch (signal) {
+      case core::DriftSignal::kMissRate: ++stats_.drift_miss_rate; break;
+      case core::DriftSignal::kVoteShift: ++stats_.drift_vote_shift; break;
+      case core::DriftSignal::kRejectedSlope: ++stats_.drift_rejected_slope; break;
+      case core::DriftSignal::kNone: break;
+    }
+    trigger_publish(/*drift_triggered=*/true, deliver_ts_s);
+    return;
+  }
+  if (cfg_.publish_after_extensions > 0 &&
+      updater_.extensions_applied() - extensions_at_last_publish_ >=
+          cfg_.publish_after_extensions) {
+    trigger_publish(/*drift_triggered=*/false, deliver_ts_s);
+  }
+}
+
+void SwapLoop::trigger_publish(bool drift_triggered, double ts_s) {
+  if (pending_.has_value()) {
+    // One version in flight at a time; the pending publish will already
+    // carry every staging extension applied up to its build below.
+    ++stats_.coalesced_triggers;
+    return;
+  }
+  // Compact oldest-first snapshot of the retained rows (the ring's physical
+  // order rotates; the rebuild must see a reproducible row order).
+  ml::Matrix snapshot;
+  if (recent_rows_ > 0) {
+    snapshot = ml::Matrix(recent_rows_, recent_.cols());
+    const std::size_t start = recent_rows_ == recent_.rows() ? recent_next_ : 0;
+    for (std::size_t i = 0; i < recent_rows_; ++i) {
+      auto src = recent_.row((start + i) % recent_.rows());
+      std::copy(src.begin(), src.end(), snapshot.row(i).begin());
+    }
+  }
+  core::RebuildInput in;
+  in.current = handle_.current();
+  in.staging_fl = &staging_fl_;
+  in.recent = &snapshot;
+  in.new_version = next_version_++;
+  std::shared_ptr<const core::ModelBundle> bundle;
+  if (drift_triggered) {
+    ++stats_.rebuilds;
+    bundle = cfg_.rebuilder ? cfg_.rebuilder(in) : core::recompile_rebuilder()(in);
+  } else {
+    bundle = core::recompile_rebuilder()(in);
+  }
+  // Publication lands swap_latency_s later on the event clock — and never
+  // inside a crash window: a down controller cannot program tables, so the
+  // swap is deferred to the window's end (counted).
+  double due = ts_s + cfg_.swap_latency_s;
+  const double up = ctl_->up_after(due);
+  if (up > due) {
+    ++stats_.publishes_deferred_by_crash;
+    due = up;
+  }
+  pending_ = Pending{std::move(bundle), due, drift_triggered};
+}
+
+void SwapLoop::on_published() {
+  ++stats_.publishes;
+  obs_.publishes.inc();
+  // Re-seat staging on the new live version: extensions staged after the
+  // pending build are superseded by the fresh model (drift rebuilds) or
+  // already included (incremental recompiles re-trigger quickly anyway).
+  staging_fl_ = handle_.current()->fl;
+  extensions_at_last_publish_ = updater_.extensions_applied();
+  drift_.reset();
+  needs_collect_ = true;
+  obs_.version.set(static_cast<double>(handle_.version()));
+}
+
+void SwapLoop::finish() {
+  if (pending_.has_value()) {
+    const bool drift_triggered = pending_->drift_triggered;
+    handle_.publish(std::move(pending_->bundle));
+    pending_.reset();
+    if (!drift_triggered) ++stats_.incremental_publishes;
+    on_published();
+  }
+  handle_.quiesce(reader_);
+  stats_.bundles_retired += handle_.collect();
+  needs_collect_ = false;
+}
+
+SwapStats SwapLoop::stats() const {
+  SwapStats out = stats_;
+  out.extensions_applied = updater_.extensions_applied();
+  out.rejected_by_budget = updater_.rejected_by_budget();
+  out.final_version = handle_.version();
+  return out;
+}
+
+}  // namespace iguard::switchsim

@@ -160,6 +160,44 @@ TEST_F(AllocPathTest, SteadyStateStaysAllocationFreeWithMetricsEnabled) {
 #endif
 }
 
+TEST_F(AllocPathTest, SwapEnabledSteadyStateAllocatesNothing) {
+  if (!harness::alloc_counting_active()) {
+    GTEST_SKIP() << "sanitizer build owns the allocator";
+  }
+  // With the model-swap loop on, every packet additionally pins the current
+  // ModelBundle through the hazard-slot protocol (core/model_swap.hpp). On
+  // paths with no flow finalisation (purple/red/brown) no mirrors are
+  // emitted and no publish is due, so the pin must be the only extra work —
+  // two atomic ops, zero heap traffic.
+  PipelineConfig cfg;
+  cfg.packet_threshold_n = 4;
+  cfg.idle_timeout_delta = 1e6;
+  cfg.record_labels = false;
+  cfg.match_engine = MatchEngine::kCompiled;
+  cfg.swap.enabled = true;
+  cfg.swap.drift.enabled = false;
+  cfg.swap.publish_after_extensions = 0;  // no publishes during the probe
+  cfg.swap.recent_capacity = 16;
+  const auto dm = model();
+  Pipeline pipe(cfg, dm);
+  SimStats st;
+  double ts = 0.0;
+  for (int i = 0; i < 4; ++i) pipe.process(mk(ts += 0.001, 100, 1, 1000), st);
+  for (int i = 0; i < 4; ++i) pipe.process(mk(ts += 0.001, 1400, 2, 2000, true), st);
+  pipe.process(mk(ts += 0.001, 100, 3, 3000), st);
+  ASSERT_EQ(st.flows_classified, 2u);
+
+  const std::size_t before = harness::alloc_count();
+  for (int i = 0; i < 5000; ++i) {
+    pipe.process(mk(ts += 0.0001, 100, 1, 1000), st);        // purple
+    pipe.process(mk(ts += 0.0001, 1400, 2, 2000, true), st); // red
+  }
+  const std::size_t delta = harness::alloc_count() - before;
+  EXPECT_EQ(delta, 0u) << "swap-enabled steady state allocated " << delta << " times";
+  ASSERT_NE(pipe.swap_loop(), nullptr);
+  EXPECT_EQ(pipe.swap_loop()->handle().version(), 1u);
+}
+
 TEST_F(AllocPathTest, RecordLabelsOnIsTheOnlySteadyStateAllocator) {
   if (!harness::alloc_counting_active()) {
     GTEST_SKIP() << "sanitizer build owns the allocator";

@@ -365,5 +365,261 @@ TEST_F(FaultPipelineTest, RunDrainsChannelAtEndOfTrace) {
   EXPECT_EQ(st.faults.backlog_hwm, 1u);
 }
 
+// --- benign-mirror channel ----------------------------------------------------
+
+/// Test sink: records every delivered mirror with its event-clock time.
+struct RecordingSink final : WhitelistUpdateSink {
+  std::vector<std::pair<std::uint32_t, double>> delivered;  // (key[0], ts)
+  void on_benign_mirror(const BenignMirror& m, double ts) override {
+    delivered.emplace_back(m.key[0], ts);
+  }
+};
+
+TEST(MirrorChannel, DeliveredAtEnqueueTsPlusLatency) {
+  BlacklistTable bl(8);
+  ControlPlaneConfig cfg;
+  cfg.control_latency_s = 0.5;
+  Controller ctl(bl, cfg);
+  RecordingSink sink;
+  ctl.set_update_sink(&sink);
+  BenignMirror m;
+  m.key[0] = 7;
+  ctl.on_benign_mirror(m, 1.0);
+  ctl.advance_to(1.4);
+  EXPECT_TRUE(sink.delivered.empty()) << "mirror visible before latency elapsed";
+  ctl.advance_to(1.5);
+  ASSERT_EQ(sink.delivered.size(), 1u);
+  EXPECT_EQ(sink.delivered[0].first, 7u);
+  EXPECT_DOUBLE_EQ(sink.delivered[0].second, 1.5);
+  EXPECT_EQ(ctl.fault_stats().mirrors_enqueued, 1u);
+  EXPECT_EQ(ctl.fault_stats().mirrors_delivered, 1u);
+  EXPECT_EQ(ctl.fault_stats().mirrors_lost, 0u);
+}
+
+TEST(MirrorChannel, LostWhileControllerDownAtMouthOrDelivery) {
+  BlacklistTable bl(8);
+  ControlPlaneConfig cfg;
+  cfg.control_latency_s = 1.0;
+  cfg.faults.crashes = {{1.0, 0.5}};
+  Controller ctl(bl, cfg);
+  RecordingSink sink;
+  ctl.set_update_sink(&sink);
+  BenignMirror m;
+  ctl.on_benign_mirror(m, 1.2);  // enqueue inside the window: lost at the mouth
+  ctl.on_benign_mirror(m, 0.3);  // due at 1.3, inside the window: lost at delivery
+  ctl.on_benign_mirror(m, 0.6);  // due at 1.6, after restart: delivered
+  ctl.flush();
+  EXPECT_EQ(ctl.fault_stats().mirrors_lost, 2u);
+  EXPECT_EQ(ctl.fault_stats().mirrors_delivered, 1u);
+  ASSERT_EQ(sink.delivered.size(), 1u);
+  EXPECT_DOUBLE_EQ(sink.delivered[0].second, 1.6);
+}
+
+TEST(MirrorChannel, SharesChannelCapacityWithDigests) {
+  BlacklistTable bl(64);
+  ControlPlaneConfig cfg;
+  cfg.control_latency_s = 10.0;  // nothing drains during the enqueues
+  cfg.channel_capacity = 2;
+  Controller ctl(bl, cfg);
+  const auto ft = mk(0, 0, 1, 1).ft;
+  BenignMirror m;
+  ctl.on_digest({ft, 1}, 0.0);
+  ctl.on_benign_mirror(m, 0.1);  // fills the channel
+  ctl.on_benign_mirror(m, 0.2);  // overflow: mirror dropped
+  EXPECT_EQ(ctl.fault_stats().mirrors_lost, 1u);
+  EXPECT_EQ(ctl.fault_stats().channel_overflow_drops, 1u);
+  EXPECT_EQ(ctl.fault_stats().mirrors_enqueued, 1u);
+}
+
+TEST(MirrorChannel, MirrorFaultStreamsDoNotPerturbDigestDecisions) {
+  // The mirror path draws loss/delay from its own splitmix64 streams: a
+  // workload that starts emitting mirrors must see the exact same digest
+  // fault sequence as before (this is what keeps pre-swap runs and
+  // committed CSVs byte-identical when the loop is off... and digests
+  // undisturbed when it is on).
+  ControlPlaneConfig cfg;
+  cfg.faults.digest_loss_rate = 0.5;
+  BlacklistTable bl_a(64), bl_b(64);
+  Controller a(bl_a, cfg), b(bl_b, cfg);
+  RecordingSink sink;
+  b.set_update_sink(&sink);
+  BenignMirror m;
+  for (int i = 0; i < 200; ++i) {
+    const auto ft = mk(0, 0, static_cast<std::uint32_t>(i + 1), 1, true).ft;
+    const double ts = 0.01 * i;
+    a.on_digest({ft, 1}, ts);
+    b.on_digest({ft, 1}, ts);
+    b.on_benign_mirror(m, ts);  // interleaved mirrors on b only
+  }
+  a.flush();
+  b.flush();
+  EXPECT_EQ(a.fault_stats().injected_digest_drops, b.fault_stats().injected_digest_drops);
+  EXPECT_EQ(a.rules_installed(), b.rules_installed());
+  EXPECT_EQ(bl_a.size(), bl_b.size());
+}
+
+// --- swap loop under faults ---------------------------------------------------
+
+/// Three-table whitelist over key[0] alone: two broad tables, one narrow —
+/// a key of 50 is fully covered, 90 is majority-benign with one miss.
+core::VoteWhitelist three_tables() {
+  core::VoteWhitelist wl;
+  wl.tree_count = 3;
+  for (std::uint32_t hi : {100u, 100u, 80u}) {
+    std::vector<rules::FieldRange> box(kSwitchFlFeatures, {0, 0xFFFFu});
+    box[0] = {10, hi};
+    wl.tables.emplace_back(std::vector<rules::RangeRule>{{box, 0, 0}});
+  }
+  return wl;
+}
+
+TEST(SwapLoopFaults, PublishDeferredPastCrashWindow) {
+  BlacklistTable bl(8);
+  ControlPlaneConfig ccfg;
+  ccfg.faults.crashes = {{1.0, 0.5}};  // down in [1.0, 1.5)
+  Controller ctl(bl, ccfg);
+
+  SwapConfig scfg;
+  scfg.enabled = true;
+  scfg.drift.window = 2;
+  scfg.drift.baseline_windows = 1;
+  scfg.drift.miss_rate_margin = 0.10;
+  scfg.update.max_extension_per_field = 0;  // updater can never absorb the miss
+  scfg.publish_after_extensions = 0;
+  scfg.swap_latency_s = 0.2;
+  SwapLoop loop(scfg, core::build_bundle(1, three_tables(), rules::Quantizer{16}), ctl,
+                nullptr, "t");
+
+  BenignMirror covered, missing;
+  covered.key.fill(1);
+  covered.key[0] = 50;
+  missing.key.fill(1);
+  missing.key[0] = 90;
+  // Baseline window: fully covered. Second window: sustained misses, firing
+  // at 0.9 — the publish is due at 1.1, inside the crash window, so it must
+  // slip to the window's end (a down controller cannot program tables).
+  loop.on_benign_mirror(covered, 0.5);
+  loop.on_benign_mirror(covered, 0.6);
+  loop.on_benign_mirror(missing, 0.8);
+  loop.on_benign_mirror(missing, 0.9);
+  EXPECT_EQ(loop.stats().drift_fires, 1u);
+  EXPECT_EQ(loop.stats().publishes_deferred_by_crash, 1u);
+  EXPECT_EQ(loop.advance_and_pin(1.2)->version, 1u) << "published while controller down";
+  EXPECT_EQ(loop.advance_and_pin(1.49)->version, 1u);
+  EXPECT_EQ(loop.advance_and_pin(1.5)->version, 2u) << "restart must release the publish";
+  loop.finish();
+  EXPECT_EQ(loop.stats().publishes, 1u);
+  EXPECT_EQ(loop.stats().bundles_retired, 1u);
+}
+
+TEST(SwapLoopFaults, TriggersCoalesceWhileAPublishIsInFlight) {
+  BlacklistTable bl(8);
+  Controller ctl(bl, {});
+  SwapConfig scfg;
+  scfg.enabled = true;
+  scfg.drift.window = 2;
+  scfg.drift.baseline_windows = 1;
+  scfg.drift.cooldown_windows = 0;
+  scfg.update.max_extension_per_field = 0;
+  scfg.publish_after_extensions = 0;
+  scfg.swap_latency_s = 100.0;  // the first publish stays in flight throughout
+  SwapLoop loop(scfg, core::build_bundle(1, three_tables(), rules::Quantizer{16}), ctl,
+                nullptr, "t");
+  BenignMirror covered, missing;
+  covered.key.fill(1);
+  covered.key[0] = 50;
+  missing.key.fill(1);
+  missing.key[0] = 90;
+  loop.on_benign_mirror(covered, 0.1);
+  loop.on_benign_mirror(covered, 0.2);
+  for (int i = 0; i < 8; ++i) loop.on_benign_mirror(missing, 0.3 + 0.1 * i);
+  const auto st = loop.stats();
+  EXPECT_GE(st.drift_fires, 2u);
+  EXPECT_EQ(st.rebuilds, 1u);  // only the first trigger built a version
+  EXPECT_EQ(st.coalesced_triggers, st.drift_fires - 1);
+  loop.finish();  // end-of-run drain publishes the in-flight version
+  EXPECT_EQ(loop.stats().publishes, 1u);
+  EXPECT_EQ(loop.stats().final_version, 2u);
+}
+
+TEST_F(FaultPipelineTest, SwapGridLosesNoPacketsUnderFaultsAndEviction) {
+  // fault programme x eviction policy x swap mode: in every cell, each
+  // packet takes exactly one path and lands in exactly one confusion cell,
+  // and every emitted mirror is delivered or counted lost — no packet and
+  // no mirror is unaccounted for, swaps or not.
+  ml::Matrix fake(2, kSwitchFlFeatures);
+  for (std::size_t j = 0; j < kSwitchFlFeatures; ++j) {
+    fake(0, j) = 0.0;
+    fake(1, j) = 1e6;
+  }
+  rules::Quantizer q{16};
+  q.fit(fake);
+  core::VoteWhitelist wl;
+  wl.tree_count = 3;
+  for (double cap : {900.0, 900.0, 300.0}) {
+    std::vector<rules::FieldRange> box(kSwitchFlFeatures, {0, q.domain_max()});
+    box[5] = {0, q.quantize_value(5, cap)};
+    wl.tables.emplace_back(std::vector<rules::RangeRule>{{box, 0, 0}});
+  }
+  DeployedModel dm;
+  dm.fl_tables = &wl;
+  dm.fl_quantizer = &q;
+
+  traffic::Trace t;
+  for (int i = 0; i < 600; ++i) {
+    const bool mal = i % 4 == 0;
+    const std::uint16_t len = mal ? 1300 : (i < 300 ? 100 : 700);
+    t.packets.push_back(mk(0.002 * i, len, 1 + i % 23,
+                           static_cast<std::uint16_t>(1 + i % 5), mal));
+  }
+
+  for (const bool faulty : {false, true}) {
+    for (const auto ev : {EvictionPolicy::kFifo, EvictionPolicy::kLru}) {
+      for (const bool swap_on : {false, true}) {
+        PipelineConfig cfg;
+        cfg.packet_threshold_n = 3;
+        cfg.flow_slots = 16;  // force collisions/evictions
+        cfg.blacklist_capacity = 8;
+        cfg.eviction = ev;
+        if (faulty) {
+          cfg.control.control_latency_s = 0.01;
+          cfg.control.channel_capacity = 8;
+          cfg.control.faults.digest_loss_rate = 0.2;
+          cfg.control.faults.digest_delay_rate = 0.2;
+          cfg.control.faults.digest_delay_s = 0.05;
+          cfg.control.faults.install_failure_rate = 0.2;
+          cfg.control.faults.crashes = {{0.3, 0.2}};
+        }
+        cfg.swap.enabled = swap_on;
+        cfg.swap.drift.window = 8;
+        cfg.swap.update.max_extension_per_field = 8;
+        cfg.swap.publish_after_extensions = 0;
+        cfg.swap.swap_latency_s = 0.01;
+        Pipeline pipe(cfg, dm);
+        const SimStats st = pipe.run(t);
+        const std::string cell = std::string("faulty=") + (faulty ? "1" : "0") +
+                                 " ev=" + (ev == EvictionPolicy::kFifo ? "fifo" : "lru") +
+                                 " swap=" + (swap_on ? "1" : "0");
+        std::size_t paths = 0;
+        for (const auto c : st.path_count) paths += c;
+        EXPECT_EQ(paths, st.packets) << cell;
+        EXPECT_EQ(st.packets, t.size()) << cell;
+        EXPECT_EQ(st.tp + st.fp + st.tn + st.fn, st.packets) << cell;
+        if (swap_on) {
+          EXPECT_EQ(st.faults.mirrors_delivered + st.faults.mirrors_lost,
+                    st.benign_feature_mirrors)
+              << cell;
+          EXPECT_EQ(st.swap.mirrors_applied, st.faults.mirrors_delivered) << cell;
+          EXPECT_EQ(st.swap.final_version, 1u + st.swap.publishes) << cell;
+          EXPECT_EQ(st.swap.bundles_retired, st.swap.publishes) << cell;
+        } else {
+          EXPECT_EQ(st.faults.mirrors_enqueued, 0u) << cell;
+          EXPECT_EQ(st.swap.final_version, 0u) << cell;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace iguard::switchsim

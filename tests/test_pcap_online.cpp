@@ -130,6 +130,24 @@ TEST(WhitelistUpdater, BudgetExhaustionIsObservable) {
   EXPECT_EQ(upd.extensions_applied(), 1u);
 }
 
+TEST(WhitelistUpdater, InadmissibleTablesAreNotCountedAsBudgetRejections) {
+  // rejected_by_budget must mean "the budget valve alone refused this
+  // extension". A table whose nearest rule is out of per-field reach would
+  // never have been extended no matter the budget, so counting it would
+  // overstate the drift signal the swap controller consumes.
+  auto wl = make_whitelist();
+  core::WhitelistUpdater upd(wl, {.max_extension_per_field = 5, .max_updates = 1});
+  const std::uint32_t k1[2] = {84, 84};  // gap 4 to table 2: admissible
+  EXPECT_EQ(upd.observe_benign(k1), 1u);  // spends the whole budget
+  ASSERT_TRUE(upd.budget_exhausted());
+  const std::uint32_t k2[2] = {95, 95};  // tables 0/1 match; table 2 gap 11 > 5
+  EXPECT_EQ(upd.observe_benign(k2), 0u);
+  EXPECT_EQ(upd.rejected_by_budget(), 0u);  // inadmissible, NOT a budget refusal
+  const std::uint32_t k3[2] = {88, 88};  // table 2 gap 4: admissible, refused
+  EXPECT_EQ(upd.observe_benign(k3), 0u);
+  EXPECT_EQ(upd.rejected_by_budget(), 1u);
+}
+
 TEST(WhitelistUpdater, RepeatedObservationsConverge) {
   auto wl = make_whitelist();
   core::WhitelistUpdater upd(wl, {.max_extension_per_field = 15, .max_updates = 100});

@@ -252,5 +252,184 @@ TEST_F(ReplayTest, LinearAndCompiledEnginesAgreeOnReplay) {
   EXPECT_EQ(sa.flows_classified, sb.flows_classified);
 }
 
+// --- model-swap determinism matrix ------------------------------------------
+
+/// Three-table vote whitelist over min packet size (feature 5): two broad
+/// tables admit up to ~900 B, one narrow table only up to ~300 B. Early
+/// benign traffic (~100 B) is covered by all three; drifted benign traffic
+/// (~700 B) stays majority-benign but misses the narrow table on every
+/// mirror — the sustained-miss regime the drift detector fires on.
+core::VoteWhitelist swap_whitelist(const rules::Quantizer& q) {
+  core::VoteWhitelist wl;
+  wl.tree_count = 3;
+  for (double cap : {900.0, 900.0, 300.0}) {
+    std::vector<rules::FieldRange> box(kSwitchFlFeatures, {0, q.domain_max()});
+    box[5] = {0, q.quantize_value(5, cap)};
+    wl.tables.emplace_back(std::vector<rules::RangeRule>{{box, 0, 0}});
+  }
+  return wl;
+}
+
+/// Benign traffic whose packet size migrates mid-trace (small -> ~700 B),
+/// with malicious large-packet flows mixed in throughout.
+traffic::Trace drift_trace(std::size_t flows, std::size_t packets_per_flow, ml::Rng& rng) {
+  traffic::Trace t;
+  for (std::size_t f = 0; f < flows; ++f) {
+    const bool mal = f % 5 == 0;
+    const bool drifted = f >= flows / 2;  // late flows carry the new profile
+    traffic::FiveTuple ft{0x0A000000u + static_cast<std::uint32_t>(f),
+                          0x0B000000u + static_cast<std::uint32_t>(f % 7),
+                          static_cast<std::uint16_t>(1024 + f), 443, traffic::kProtoTcp};
+    for (std::size_t i = 0; i < packets_per_flow; ++i) {
+      traffic::Packet p;
+      p.ts = 0.001 * static_cast<double>(f) + 0.05 * static_cast<double>(i) +
+             rng.uniform(0.0, 0.0005);
+      p.ft = i % 2 == 0 ? ft : ft.reversed();
+      if (mal) {
+        p.length = static_cast<std::uint16_t>(1200 + rng.index(200));
+      } else if (drifted) {
+        p.length = static_cast<std::uint16_t>(650 + rng.index(100));
+      } else {
+        p.length = static_cast<std::uint16_t>(80 + rng.index(60));
+      }
+      p.malicious = mal;
+      t.packets.push_back(p);
+    }
+  }
+  t.sort_by_time();
+  return t;
+}
+
+PipelineConfig swap_pipe_cfg(bool enable_swap) {
+  PipelineConfig cfg;
+  cfg.packet_threshold_n = 4;
+  cfg.idle_timeout_delta = 10.0;
+  cfg.swap.enabled = enable_swap;
+  cfg.swap.drift.window = 16;
+  cfg.swap.drift.baseline_windows = 1;
+  cfg.swap.drift.miss_rate_margin = 0.10;
+  // A ~400 B size jump is ~25 quantised levels: out of per-field reach, so
+  // the updater cannot absorb the drift and the miss rate must fire.
+  cfg.swap.update.max_extension_per_field = 8;
+  cfg.swap.publish_after_extensions = 0;  // drift is the only trigger
+  cfg.swap.recent_capacity = 512;
+  return cfg;
+}
+
+TEST_F(ReplayTest, DriftTriggeredSwapsAreBitIdenticalAcrossShardAndThreadCounts) {
+  ml::Rng rng(31);
+  const auto trace = drift_trace(400, 8, rng);
+  rules::Quantizer q = quant_;
+  const auto wl = swap_whitelist(q);
+  DeployedModel dm;
+  dm.fl_tables = &wl;
+  dm.fl_quantizer = &q;
+  const auto cfg = swap_pipe_cfg(true);
+
+  for (std::size_t k : {1u, 2u, 4u, 8u}) {
+    ReplayConfig rc;
+    rc.shards = k;
+    rc.num_threads = 1;
+    const auto a = replay_sharded(trace, cfg, dm, rc);
+    rc.num_threads = k;
+    const auto b = replay_sharded(trace, cfg, dm, rc);
+    EXPECT_EQ(a.stats.pred, b.stats.pred) << "shards=" << k;
+    EXPECT_EQ(a.stats.truth, b.stats.truth) << "shards=" << k;
+    EXPECT_EQ(a.stats.path_count, b.stats.path_count) << "shards=" << k;
+    EXPECT_EQ(a.stats.tp, b.stats.tp) << "shards=" << k;
+    EXPECT_EQ(a.stats.fn, b.stats.fn) << "shards=" << k;
+    EXPECT_EQ(a.stats.swap.publishes, b.stats.swap.publishes) << "shards=" << k;
+    EXPECT_EQ(a.stats.swap.drift_fires, b.stats.swap.drift_fires) << "shards=" << k;
+    EXPECT_EQ(a.stats.swap.mirrors_applied, b.stats.swap.mirrors_applied) << "shards=" << k;
+    EXPECT_EQ(a.stats.swap.extensions_applied, b.stats.swap.extensions_applied)
+        << "shards=" << k;
+    EXPECT_EQ(a.stats.swap.final_version, b.stats.swap.final_version) << "shards=" << k;
+    EXPECT_EQ(a.stats.faults.mirrors_enqueued, b.stats.faults.mirrors_enqueued)
+        << "shards=" << k;
+    EXPECT_EQ(a.stats.faults.mirrors_delivered, b.stats.faults.mirrors_delivered)
+        << "shards=" << k;
+    if (k == 1) {
+      // The workload genuinely drifts: the single-shard run must swap.
+      EXPECT_GE(a.stats.swap.publishes, 1u);
+      EXPECT_GE(a.stats.swap.drift_fires, 1u);
+      EXPECT_GT(a.stats.swap.final_version, 1u);
+    }
+    // Hitless accounting at every shard count: every packet took exactly one
+    // path and produced exactly one confusion entry.
+    std::size_t paths = 0;
+    for (const auto c : a.stats.path_count) paths += c;
+    EXPECT_EQ(paths, a.stats.packets) << "shards=" << k;
+    EXPECT_EQ(a.stats.tp + a.stats.fp + a.stats.tn + a.stats.fn, a.stats.packets)
+        << "shards=" << k;
+  }
+}
+
+TEST_F(ReplayTest, SwapLoopWithoutTriggersIsByteIdenticalToDisabled) {
+  // With the loop enabled but no trigger armed (drift off, no extension
+  // threshold), mirrors flow and staging learns — but nothing publishes, so
+  // every data-plane observable must match a swap-disabled run exactly.
+  ml::Rng rng(37);
+  const auto trace = drift_trace(150, 8, rng);
+  rules::Quantizer q = quant_;
+  const auto wl = swap_whitelist(q);
+  DeployedModel dm;
+  dm.fl_tables = &wl;
+  dm.fl_quantizer = &q;
+  auto on = swap_pipe_cfg(true);
+  on.swap.drift.enabled = false;
+  const auto off = swap_pipe_cfg(false);
+
+  Pipeline pa(on, dm), pb(off, dm);
+  const auto a = pa.run(trace);
+  const auto b = pb.run(trace);
+  EXPECT_EQ(a.pred, b.pred);
+  EXPECT_EQ(a.truth, b.truth);
+  EXPECT_EQ(a.path_count, b.path_count);
+  EXPECT_EQ(a.tp, b.tp);
+  EXPECT_EQ(a.fp, b.fp);
+  EXPECT_EQ(a.tn, b.tn);
+  EXPECT_EQ(a.fn, b.fn);
+  EXPECT_EQ(a.green_mirrors, b.green_mirrors);
+  EXPECT_EQ(a.benign_feature_mirrors, b.benign_feature_mirrors);
+  EXPECT_EQ(a.faults.leaked_packets, b.faults.leaked_packets);
+  // The loop was live (mirrors transported and consumed), just never fired.
+  EXPECT_EQ(a.swap.publishes, 0u);
+  EXPECT_EQ(a.swap.final_version, 1u);
+  EXPECT_GT(a.swap.mirrors_applied, 0u);
+  EXPECT_EQ(a.swap.mirrors_applied, a.faults.mirrors_delivered);
+  EXPECT_EQ(b.swap.final_version, 0u);  // loop off: all-zero stats
+}
+
+TEST_F(ReplayTest, SwapLatencyRunsLoseNoPacketsAndRetireEveryVersion) {
+  ml::Rng rng(41);
+  const auto trace = drift_trace(300, 8, rng);
+  rules::Quantizer q = quant_;
+  const auto wl = swap_whitelist(q);
+  DeployedModel dm;
+  dm.fl_tables = &wl;
+  dm.fl_quantizer = &q;
+  auto cfg = swap_pipe_cfg(true);
+  cfg.swap.swap_latency_s = 0.02;  // publish visibly later than the trigger
+  ReplayConfig rc;
+  rc.shards = 4;
+  const auto out = replay_sharded(trace, cfg, dm, rc);
+
+  std::size_t paths = 0;
+  for (const auto c : out.stats.path_count) paths += c;
+  EXPECT_EQ(paths, out.stats.packets);
+  EXPECT_EQ(out.stats.packets, trace.size());
+  EXPECT_EQ(out.stats.tp + out.stats.fp + out.stats.tn + out.stats.fn, out.stats.packets);
+  EXPECT_GE(out.stats.swap.publishes, 1u);
+  for (const auto& s : out.per_shard) {
+    // Each publish retires exactly one version and every retired version is
+    // reclaimed by end of run — no leaked bundles, no dangling readers.
+    EXPECT_EQ(s.swap.bundles_retired, s.swap.publishes);
+    EXPECT_EQ(s.swap.final_version, 1u + s.swap.publishes);
+    // Every emitted mirror is accounted for: delivered or counted lost.
+    EXPECT_EQ(s.faults.mirrors_delivered + s.faults.mirrors_lost, s.benign_feature_mirrors);
+    EXPECT_EQ(s.swap.mirrors_applied, s.faults.mirrors_delivered);
+  }
+}
+
 }  // namespace
 }  // namespace iguard::switchsim
