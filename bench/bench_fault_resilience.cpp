@@ -9,6 +9,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "eval/metrics.hpp"
 #include "eval/report.hpp"
@@ -128,6 +129,8 @@ int main() {
   t.print(std::cout, "Control-plane fault resilience (one deployment, degraded replays)");
   t.write_csv("fault_resilience.csv");
 
+  obs_reg.gauge("host.hardware_threads")
+      .set(static_cast<double>(std::thread::hardware_concurrency()));
   obs::MetricsSnapshot snap = obs_reg.snapshot();
   for (auto it = snap.scalars.begin(); it != snap.scalars.end();) {
     it = it->first.rfind("timing.", 0) == 0 ? snap.scalars.erase(it) : std::next(it);

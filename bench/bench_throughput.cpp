@@ -268,6 +268,8 @@ int main(int argc, char** argv) {
     switchsim::ReplayConfig rc;
     rc.shards = 2;
     (void)switchsim::replay_sharded(trace, ocfg, dm, rc);
+    reg.gauge("host.hardware_threads")
+        .set(static_cast<double>(std::thread::hardware_concurrency()));
     std::ofstream of("BENCH_pipeline_obs.json");
     of << obs::to_json(reg.snapshot());
   }

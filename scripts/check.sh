@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Full verification sweep: build + ctest plain, then under each sanitizer.
-# Usage: scripts/check.sh [--fast|--bench-smoke|--obs-smoke|--swap-smoke|--csv-drift]
+# Usage: scripts/check.sh [--fast|--bench-smoke|--obs-smoke|--swap-smoke|--fleet-smoke|--csv-drift]
 #   --fast         plain build/test only (skip the sanitizer matrix)
 #   --bench-smoke  Release build + bench_throughput --smoke: fails if the
 #                  compiled match engine diverges from the linear scan, if
@@ -14,6 +14,13 @@
 #                  perturbation, packet/mirror loss, no publish, steady-state
 #                  allocations) or if the swap.* observability snapshot is
 #                  not byte-identical across the two runs (DESIGN.md §4e)
+#   --fleet-smoke  Release build + bench_fleet --smoke twice: fails on any
+#                  fleet-gate violation (N=1 faults-off fleet diverging from
+#                  the single-switch sharded replay, thread-count
+#                  non-determinism, conservation-audit failure) or if any
+#                  non-timing key of BENCH_fleet.json / the fleet
+#                  observability snapshot differs between the two identical
+#                  runs (DESIGN.md §4f)
 #   --csv-drift    Release build + regenerate the committed fig*/table*/b*
 #                  CSVs in a scratch dir: fails if any regenerated CSV
 #                  differs from the committed copy (stale-artifact gate)
@@ -34,9 +41,20 @@ run_suite() {
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
 }
 
+# Shard/fleet sweeps on a 1-core container measure overhead, not scaling:
+# the determinism gates still hold, but throughput numbers are meaningless.
+# Every bench JSON artifact records hardware_threads so consumers can tell.
+warn_if_single_core() {
+  if [[ "${JOBS}" -le 1 ]]; then
+    echo "WARNING: only 1 hardware thread detected — shard/fleet sweep" >&2
+    echo "WARNING: throughput numbers measure overhead, not parallel scaling" >&2
+  fi
+}
+
 bench_smoke() {
   local dir="build-check-bench"
   echo "=== bench-smoke (Release) ==="
+  warn_if_single_core
   cmake -B "${dir}" -S . "${GENERATOR_ARGS[@]}" \
     -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build "${dir}" -j "${JOBS}" --target bench_throughput
@@ -143,6 +161,58 @@ print("swap-smoke OK: non-timing swap snapshot byte-identical across runs")
 EOF
 }
 
+fleet_smoke() {
+  local dir="build-check-bench"
+  echo "=== fleet-smoke (Release) ==="
+  warn_if_single_core
+  release_build bench_fleet
+  local a="${dir}/fleet-run-a" b="${dir}/fleet-run-b"
+  rm -rf "${a}" "${b}"
+  mkdir -p "${a}" "${b}"
+  # The bench itself exits non-zero on any fleet-gate violation (N=1
+  # divergence, thread-count non-determinism, conservation failure); run it
+  # twice so both artifacts can be compared across identical runs.
+  (cd "${a}" && ../bench/bench_fleet --smoke --out BENCH_fleet_smoke.json)
+  (cd "${b}" && ../bench/bench_fleet --smoke --out BENCH_fleet_smoke.json >/dev/null)
+  # Artifact sanity: verdict fields present and true, and every key outside
+  # the top-level "timing" object byte-identical between the two runs.
+  python3 - "${a}/BENCH_fleet_smoke.json" "${b}/BENCH_fleet_smoke.json" <<'EOF'
+import json, sys
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+a, b = load(sys.argv[1]), load(sys.argv[2])
+for key in ("hardware_threads", "cells", "n1_equivalent",
+            "fleet_deterministic", "conserved", "timing"):
+    assert key in a, f"BENCH_fleet json missing {key!r}"
+assert a["n1_equivalent"] is True, "N=1 fleet diverges from sharded replay"
+assert a["fleet_deterministic"] is True, "fleet replay non-deterministic"
+assert a["conserved"] is True, "fleet conservation audit failed"
+assert len(a["cells"]) > 0, "fleet sweep produced no cells"
+sa = json.dumps({k: v for k, v in a.items() if k != "timing"}, sort_keys=True)
+sb = json.dumps({k: v for k, v in b.items() if k != "timing"}, sort_keys=True)
+assert sa == sb, "non-timing BENCH_fleet keys differ between identical runs"
+print("fleet-smoke artifact OK:", sys.argv[1])
+EOF
+  # Fleet metrics obey the §4d policy: wall-clock under timing.*, everything
+  # else byte-deterministic — including the fleet.* aggregates, per-device
+  # control gauges, and the backlog / devices-degraded series.
+  python3 - "${a}/BENCH_fleet_obs.json" "${b}/BENCH_fleet_obs.json" <<'EOF'
+import json, sys
+def non_timing(path):
+    with open(path) as f:
+        j = json.load(f)
+    j["scalars"] = {k: v for k, v in j["scalars"].items() if not k.startswith("timing.")}
+    j["series"] = {k: v for k, v in j.get("series", {}).items() if not k.startswith("timing.")}
+    return json.dumps(j, sort_keys=True)
+a, b = non_timing(sys.argv[1]), non_timing(sys.argv[2])
+assert '.fleet.' in a, "snapshot has no fleet instruments"
+assert 'host.hardware_threads' in a, "snapshot missing host.hardware_threads"
+assert a == b, "non-timing fleet snapshot keys differ between identical runs"
+print("fleet-smoke OK: non-timing fleet snapshot byte-identical across runs")
+EOF
+}
+
 # The committed paper artifacts regenerated by --csv-drift, with the bench
 # that writes each. ablation.csv / consistency.csv are sweep-style artifacts
 # outside the fig*/table*/b* set and are not gated.
@@ -193,6 +263,11 @@ fi
 if [[ "${1:-}" == "--swap-smoke" ]]; then
   swap_smoke
   echo "=== swap smoke passed ==="
+  exit 0
+fi
+if [[ "${1:-}" == "--fleet-smoke" ]]; then
+  fleet_smoke
+  echo "=== fleet smoke passed ==="
   exit 0
 fi
 if [[ "${1:-}" == "--csv-drift" ]]; then

@@ -111,6 +111,33 @@ class ModelHandle {
   std::vector<std::shared_ptr<const ModelBundle>> retired_;
 };
 
+/// Fleet-side model distribution (DESIGN.md §4f): compiling a model version
+/// is a control-plane cost paid once per *version*, never once per device.
+/// get_or_build() returns the cached bundle for `version`, invoking the
+/// builder only on the first request; every device in the fleet then shares
+/// the same immutable compiled tables (a ModelBundle never mutates after
+/// build_bundle, so cross-thread sharing is safe). The compile/distribution
+/// counters let tests and benches assert the once-per-version property.
+class ModelDistributor {
+ public:
+  using Builder = std::function<std::shared_ptr<const ModelBundle>()>;
+
+  /// Cached bundle for `version`, building (and caching) on first request.
+  /// Throws std::invalid_argument if the builder returns null or a bundle
+  /// whose version does not match the requested one.
+  std::shared_ptr<const ModelBundle> get_or_build(std::uint64_t version, const Builder& build);
+
+  std::size_t compiles() const;       // cache misses: builder invocations
+  std::size_t distributions() const;  // total get_or_build calls
+  std::size_t versions_cached() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<const ModelBundle>>> cache_;
+  std::size_t compiles_ = 0;
+  std::size_t distributions_ = 0;
+};
+
 /// Which drift signal fired (kNone = window closed quietly).
 enum class DriftSignal { kNone, kMissRate, kVoteShift, kRejectedSlope };
 

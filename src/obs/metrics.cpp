@@ -136,6 +136,24 @@ MetricsSnapshot diff(const MetricsSnapshot& before, const MetricsSnapshot& after
   return out;
 }
 
+MetricsSnapshot without_prefixes(const MetricsSnapshot& s,
+                                 std::span<const std::string_view> prefixes) {
+  const auto dropped = [&](const std::string& key) {
+    for (const std::string_view p : prefixes) {
+      if (key.size() >= p.size() && key.compare(0, p.size(), p) == 0) return true;
+    }
+    return false;
+  };
+  MetricsSnapshot out;
+  for (const auto& [k, v] : s.scalars) {
+    if (!dropped(k)) out.scalars.emplace(k, v);
+  }
+  for (const auto& [k, rows] : s.series) {
+    if (!dropped(k)) out.series.emplace(k, rows);
+  }
+  return out;
+}
+
 std::string to_json(const MetricsSnapshot& s) {
   std::ostringstream os;
   os << "{\n  \"scalars\": {";

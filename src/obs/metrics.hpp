@@ -239,6 +239,13 @@ struct MetricsSnapshot {
 /// Series are taken from `after` unchanged.
 MetricsSnapshot diff(const MetricsSnapshot& before, const MetricsSnapshot& after);
 
+/// Copy of `s` with every scalar/series key that starts with any of
+/// `prefixes` removed. How comparison gates carve a snapshot down to the
+/// deterministic subtree they assert on (e.g. drop "timing." and the fleet
+/// controller's own namespace when checking N=1 single-switch parity).
+MetricsSnapshot without_prefixes(const MetricsSnapshot& s,
+                                 std::span<const std::string_view> prefixes);
+
 /// Deterministic exports: stable key order (sorted), fixed precision
 /// (integral values print as integers, everything else as %.9g).
 std::string to_json(const MetricsSnapshot& s);

@@ -29,8 +29,10 @@ Controller::Controller(BlacklistTable& blacklist, ControlPlaneConfig cfg,
 
 void Controller::on_digest(const Digest& d, double ts_s) {
   ++digests_;
+  ++stats_.digests_received;
   bytes_ += Digest::kBytes;
   obs_.digests.inc();
+  if (cfg_.digest_tap != nullptr) cfg_.digest_tap->push_back({d, ts_s});
   if (injector_.down_at(ts_s)) {
     // Nothing is listening: the digest notification goes nowhere.
     ++stats_.digests_lost_to_crash;
@@ -83,6 +85,7 @@ void Controller::on_benign_mirror(const BenignMirror& m, double ts_s) {
   if (cfg_.channel_capacity > 0 && channel_backlog_ >= cfg_.channel_capacity) {
     ++stats_.mirrors_lost;
     ++stats_.channel_overflow_drops;
+    ++stats_.mirror_overflow_drops;
     return;
   }
   double delay = cfg_.control_latency_s;
@@ -139,8 +142,10 @@ void Controller::deliver(const Event& e) {
   if (injector_.down_at(e.due_ts)) {
     if (e.is_mirror) {
       ++stats_.mirrors_lost;
-    } else {
+    } else if (e.attempt == 0) {
       ++stats_.digests_lost_to_crash;
+    } else {
+      ++stats_.retry_installs_lost_to_crash;
     }
     return;
   }
@@ -149,6 +154,7 @@ void Controller::deliver(const Event& e) {
     if (sink_ != nullptr) sink_->on_benign_mirror(e.mirror, e.due_ts);
     return;
   }
+  if (e.attempt == 0) ++stats_.digests_delivered;
   if (e.digest.label != 1) return;  // benign digests carry no install
   ++stats_.install_attempts;
   if (injector_.fail_install()) {
@@ -172,6 +178,7 @@ void Controller::deliver(const Event& e) {
   }
   blacklist_->install(e.digest.ft);
   ++installs_;
+  ++stats_.installs_applied;
   obs_.installs.inc();
   // Simulated digest-to-applied latency: event-clocked, hence deterministic.
   obs_.install_latency.record(e.due_ts - e.enqueue_ts);

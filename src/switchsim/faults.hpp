@@ -158,6 +158,15 @@ class FaultInjector {
   SplitMix64 mirror_drop_, mirror_delay_;
 };
 
+/// One digest as it entered the control channel, stamped with the
+/// triggering packet's timestamp. The fleet simulator (fleet.hpp) taps
+/// these at the channel mouth so a central controller can consume the same
+/// event stream the local controller saw.
+struct TimedDigest {
+  Digest digest{};
+  double ts = 0.0;
+};
+
 /// Control-channel + controller behaviour knobs. Defaults reproduce the old
 /// lockstep model exactly (zero latency, unbounded channel, no faults).
 struct ControlPlaneConfig {
@@ -171,6 +180,10 @@ struct ControlPlaneConfig {
   /// event count, not wall time, so the series is deterministic).
   std::size_t backlog_sample_every = 8;
   std::size_t backlog_sample_capacity = 4096;
+  /// Optional caller-owned tap: every digest is appended here at the channel
+  /// mouth, before any loss/overflow/crash decision, so the captured stream
+  /// is exactly what the data plane emitted. Must outlive the controller.
+  std::vector<TimedDigest>* digest_tap = nullptr;
   FaultConfig faults;
 };
 
@@ -178,16 +191,31 @@ struct ControlPlaneConfig {
 /// controller; leaked_packets is counted by the pipeline (it is the data
 /// plane that admits the packet).
 struct FaultStats {
+  /// Digests at the channel mouth (mirror of Controller::digests_received(),
+  /// kept here so SimStats-level conservation audits are self-contained).
+  std::size_t digests_received = 0;
+  /// First-attempt digest events that reached delivery while the controller
+  /// was up (benign digests included). Conservation (tests/fault_audit.hpp):
+  ///   digests_received == digests_delivered + injected_digest_drops
+  ///                       + (channel_overflow_drops - mirror_overflow_drops)
+  ///                       + digests_lost_to_crash
+  std::size_t digests_delivered = 0;
   std::size_t channel_overflow_drops = 0;  // bounded channel was full
+  std::size_t mirror_overflow_drops = 0;   // the mirror share of the above
   std::size_t injected_digest_drops = 0;   // FaultInjector losses
   std::size_t delayed_digests = 0;
   std::size_t backlog_hwm = 0;             // channel high-water mark
   std::size_t install_attempts = 0;
+  std::size_t installs_applied = 0;        // successful non-recovery installs
   std::size_t install_failures = 0;        // failed attempts (pre-retry)
   std::size_t install_retries = 0;         // attempts re-scheduled
   std::size_t dead_letters = 0;            // installs abandoned after retries
   std::size_t crashes = 0;                 // restarts performed
-  std::size_t digests_lost_to_crash = 0;
+  std::size_t digests_lost_to_crash = 0;   // first deliveries, mouth or due-time
+  /// Scheduled retries whose due time fell inside a crash window — the
+  /// install chain ends without an applied rule or a dead letter, counted
+  /// separately so digests_lost_to_crash keeps its first-delivery meaning.
+  std::size_t retry_installs_lost_to_crash = 0;
   std::size_t recovery_installs = 0;       // rules rebuilt from FlowStore labels
   /// Packets the data plane admitted (verdict 0) after their flow had
   /// already been classified malicious — detection happened, enforcement
@@ -198,6 +226,8 @@ struct FaultStats {
   std::size_t mirrors_delivered = 0;  // handed to the whitelist-update sink
   std::size_t mirrors_lost = 0;       // crash loss + injected loss + overflow
   std::size_t delayed_mirrors = 0;
+
+  bool operator==(const FaultStats&) const = default;
 };
 
 /// Event-clocked, fault-aware controller. The data plane enqueues digests

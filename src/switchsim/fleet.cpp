@@ -1,0 +1,590 @@
+#include "switchsim/fleet.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "ml/parallel.hpp"
+
+namespace iguard::switchsim {
+
+namespace {
+
+// Decorrelated per-(device, purpose) seed: raw seed ^ device would give
+// adjacent devices near-identical SplitMix64 streams.
+std::uint64_t derive_seed(std::uint64_t seed, std::size_t device, std::uint64_t salt) {
+  return ml::mix64(seed ^ ml::mix64(static_cast<std::uint64_t>(device) + salt));
+}
+
+constexpr std::uint64_t kPartitionSalt = 0x9A27171011ull;
+constexpr std::uint64_t kCrashSalt = 0xC2A5B0A7D5ull;
+constexpr std::uint64_t kLocalFaultSalt = 0x10CA1F4017ull;
+constexpr std::uint64_t kInstallSalt = 0x1257A11F47ull;
+
+}  // namespace
+
+std::vector<LinkWindow> generate_fault_windows(std::uint64_t seed, double rate,
+                                               double duration_s, double check_interval_s,
+                                               double horizon_s) {
+  std::vector<LinkWindow> out;
+  if (rate <= 0.0 || duration_s <= 0.0 || check_interval_s <= 0.0 || horizon_s < 0.0) {
+    return out;
+  }
+  // One Bernoulli draw per interval step over the whole horizon — the draw
+  // count is fixed by the horizon, so one window opening never shifts the
+  // positions of later ones.
+  SplitMix64 rng(seed);
+  for (double t = 0.0; t <= horizon_s; t += check_interval_s) {
+    if (rng.chance(rate)) out.push_back({t, duration_s});
+  }
+  return out;
+}
+
+DarkSchedule::DarkSchedule(std::vector<LinkWindow> windows) {
+  std::sort(windows.begin(), windows.end(), [](const LinkWindow& a, const LinkWindow& b) {
+    return a.start_s != b.start_s ? a.start_s < b.start_s : a.duration_s < b.duration_s;
+  });
+  for (const auto& w : windows) {
+    if (w.duration_s <= 0.0) continue;
+    if (!windows_.empty() && w.start_s <= windows_.back().end_s()) {
+      const double end = std::max(windows_.back().end_s(), w.end_s());
+      windows_.back().duration_s = end - windows_.back().start_s;
+    } else {
+      windows_.push_back(w);
+    }
+  }
+}
+
+bool DarkSchedule::down_at(double ts_s) const {
+  for (const auto& w : windows_) {
+    if (ts_s >= w.start_s && ts_s < w.end_s()) return true;
+    if (w.start_s > ts_s) break;
+  }
+  return false;
+}
+
+double DarkSchedule::up_after(double ts_s) const {
+  for (const auto& w : windows_) {
+    if (ts_s >= w.start_s && ts_s < w.end_s()) return w.end_s();
+    if (w.start_s > ts_s) break;
+  }
+  return ts_s;
+}
+
+// --- FleetController -------------------------------------------------------
+
+FleetController::FleetController(FleetControllerConfig cfg, std::vector<FailureDomain> domains,
+                                 obs::Registry* metrics, std::string_view metrics_prefix)
+    : cfg_(cfg) {
+  if (domains.empty()) domains.emplace_back();
+  dev_.resize(domains.size());
+  for (std::size_t d = 0; d < dev_.size(); ++d) {
+    dev_[d].domain = std::move(domains[d]);
+    dev_[d].install_faults = SplitMix64(dev_[d].domain.install_fault_seed);
+    dev_[d].st.partitions = dev_[d].domain.partitions;
+    dev_[d].st.crash_windows = dev_[d].domain.crash_windows;
+  }
+  fleet_.devices = dev_.size();
+  if (metrics != nullptr && metrics->enabled()) {
+    const std::string p(metrics_prefix);
+    obs_.digests = metrics->counter(p + ".digests");
+    obs_.digests_lost_dark = metrics->counter(p + ".digests_lost_dark");
+    obs_.intents = metrics->counter(p + ".install_intents");
+    obs_.dedup_suppressed = metrics->counter(p + ".dedup_suppressed");
+    obs_.batches = metrics->counter(p + ".batches");
+    obs_.installs = metrics->counter(p + ".installs");
+    obs_.install_retries = metrics->counter(p + ".install_retries");
+    obs_.dead_letters = metrics->counter(p + ".dead_letters");
+    obs_.backpressure_drops = metrics->counter(p + ".backpressure_drops");
+    obs_.catchup_installs = metrics->counter(p + ".catchup_installs");
+    obs_.staleness_s =
+        metrics->histogram(p + ".staleness_s", obs::default_install_latency_bounds_s());
+    obs_.backlog = metrics->series(p + ".backlog", cfg_.sample_capacity, cfg_.sample_every);
+    obs_.devices_degraded =
+        metrics->series(p + ".devices_degraded", cfg_.sample_capacity, cfg_.sample_every);
+    for (std::size_t d = 0; d < dev_.size(); ++d) {
+      const std::string dp = p + ".dev" + std::to_string(d);
+      dev_[d].obs_queue = metrics->gauge(dp + ".install_queue");
+      dev_[d].obs_rules = metrics->gauge(dp + ".rules_resident");
+      dev_[d].obs_staleness = metrics->gauge(dp + ".staleness_s");
+    }
+  }
+}
+
+double FleetController::backoff_delay(std::uint32_t attempt) const {
+  double d = cfg_.retry_backoff_s;
+  for (std::uint32_t i = 1; i < attempt && d < cfg_.retry_backoff_cap_s; ++i) d *= 2.0;
+  return std::min(d, cfg_.retry_backoff_cap_s);
+}
+
+double FleetController::next_rejoin_ts(const Device& dev) const {
+  const auto& windows = dev.domain.dark.windows();
+  if (dev.next_rejoin >= windows.size()) return std::numeric_limits<double>::infinity();
+  return windows[dev.next_rejoin].end_s();
+}
+
+void FleetController::apply(std::size_t d, std::uint64_t key, double intent_ts,
+                            double apply_ts) {
+  Device& dv = dev_[d];
+  dv.resident.insert(key);
+  const double lag = apply_ts - intent_ts;
+  dv.st.staleness_hwm_s = std::max(dv.st.staleness_hwm_s, lag);
+  fleet_.staleness_hwm_s = std::max(fleet_.staleness_hwm_s, lag);
+  obs_.staleness_s.record(lag);
+  dv.obs_rules.set(static_cast<double>(dv.resident.size()));
+  dv.obs_staleness.set(lag);
+}
+
+void FleetController::run_rejoin(std::size_t d, double ts_s) {
+  Device& dv = dev_[d];
+  ++dv.next_rejoin;
+  if (dv.missed.empty()) return;
+  // Coalesced catch-up: every rule the device missed while dark (or lost to
+  // backpressure / dead-letter) lands in one re-sync pass, exempt from
+  // failure injection — mirroring the local recovery sweep's semantics.
+  // Sorted by key so the hash map's iteration order never leaks into
+  // counters or metrics.
+  std::vector<std::pair<std::uint64_t, double>> work(dv.missed.begin(), dv.missed.end());
+  std::sort(work.begin(), work.end());
+  for (const auto& [key, intent_ts] : work) {
+    if (dv.resident.count(key) != 0) continue;  // an in-flight retry landed first
+    apply(d, key, intent_ts, ts_s);
+    ++dv.st.catchup_installs;
+    obs_.catchup_installs.inc();
+  }
+  dv.missed.clear();
+}
+
+void FleetController::flush_batch(double ts_s) {
+  if (pending_.empty()) return;
+  ++fleet_.batches;
+  obs_.batches.inc();
+  last_flush_ts_ = ts_s;
+  const auto enqueue = [&](std::size_t d, const Intent& in) {
+    ++fleet_.install_ops_addressed;
+    Device& dv = dev_[d];
+    if (cfg_.install_queue_capacity > 0 && dv.queue_len >= cfg_.install_queue_capacity) {
+      // Backpressure, not an unbounded buffer: drop the op, remember the
+      // rule in the missed set, re-sync at the next rejoin.
+      ++dv.st.backpressure_drops;
+      obs_.backpressure_drops.inc();
+      dv.missed.emplace(in.key, in.ts);
+      return;
+    }
+    ++dv.queue_len;
+    ++total_inflight_;
+    dv.st.queue_hwm = std::max(dv.st.queue_hwm, dv.queue_len);
+    fleet_.backlog_hwm = std::max(fleet_.backlog_hwm, total_inflight_);
+    ++dv.st.installs_enqueued;
+    dv.obs_queue.set(static_cast<double>(dv.queue_len));
+    double base = ts_s;
+    if (dv.domain.dark.down_at(ts_s)) {
+      // Device is dark: serve stale, park the op until the window closes.
+      ++dv.st.deferred_while_dark;
+      base = dv.domain.dark.up_after(ts_s);
+    }
+    ops_.push(Op{d, in.key, in.ts, base + cfg_.install_latency_s, 0, seq_++});
+  };
+  for (const Intent& in : pending_) {
+    if (cfg_.broadcast) {
+      for (std::size_t d = 0; d < dev_.size(); ++d) enqueue(d, in);
+    } else {
+      enqueue(in.source, in);
+    }
+  }
+  pending_.clear();
+}
+
+void FleetController::deliver(const Op& op) {
+  Device& dv = dev_[op.device];
+  if (dv.domain.dark.down_at(op.due_ts)) {
+    // Went dark while the op was in flight: park it until rejoin. The
+    // schedule's windows are merged, so up_after's result is never dark.
+    ++dv.st.deferred_while_dark;
+    Op parked = op;
+    parked.due_ts = dv.domain.dark.up_after(op.due_ts);
+    parked.seq = seq_++;
+    ops_.push(parked);
+    return;
+  }
+  if (dv.install_faults.chance(cfg_.install_failure_rate)) {
+    ++dv.st.install_failures;
+    const std::uint32_t attempt = op.attempt + 1;
+    if (attempt > cfg_.max_install_retries) {
+      ++dv.st.dead_letters;
+      ++fleet_.dead_letters;
+      obs_.dead_letters.inc();
+      --dv.queue_len;
+      --total_inflight_;
+      dv.obs_queue.set(static_cast<double>(dv.queue_len));
+      dv.missed.emplace(op.key, op.intent_ts);
+      return;
+    }
+    ++dv.st.install_retries;
+    obs_.install_retries.inc();
+    Op retry = op;
+    retry.due_ts = op.due_ts + backoff_delay(attempt);
+    retry.attempt = attempt;
+    retry.seq = seq_++;
+    ops_.push(retry);
+    return;
+  }
+  --dv.queue_len;
+  --total_inflight_;
+  dv.obs_queue.set(static_cast<double>(dv.queue_len));
+  apply(op.device, op.key, op.intent_ts, op.due_ts);
+  ++dv.st.installs_applied;
+  ++fleet_.installs_applied;
+  obs_.installs.inc();
+}
+
+void FleetController::advance_to(double now_s) {
+  if (now_s < clock_) now_s = clock_;
+  while (true) {
+    const double op_ts =
+        ops_.empty() ? std::numeric_limits<double>::infinity() : ops_.top().due_ts;
+    double rej_ts = std::numeric_limits<double>::infinity();
+    std::size_t rej_d = dev_.size();
+    for (std::size_t d = 0; d < dev_.size(); ++d) {
+      const double t = next_rejoin_ts(dev_[d]);
+      if (t < rej_ts) {
+        rej_ts = t;
+        rej_d = d;
+      }
+    }
+    const double t = std::min(op_ts, rej_ts);
+    // Strictly-greater alone is not enough when draining with now_s = inf:
+    // inf > inf is false, so an empty horizon must break explicitly.
+    if (t > now_s || t == std::numeric_limits<double>::infinity()) break;
+    clock_ = t;
+    if (rej_ts <= op_ts) {
+      // Rejoin first: an op due exactly at the window's end is delivered to
+      // an already re-synced device.
+      run_rejoin(rej_d, rej_ts);
+    } else {
+      const Op op = ops_.top();
+      ops_.pop();
+      deliver(op);
+    }
+  }
+  if (now_s < std::numeric_limits<double>::infinity()) clock_ = now_s;
+}
+
+void FleetController::on_digest(std::size_t device, const Digest& d, double ts_s) {
+  advance_to(ts_s);
+  if (cfg_.batch_interval_s > 0.0 && !pending_.empty() &&
+      ts_s - last_flush_ts_ >= cfg_.batch_interval_s) {
+    flush_batch(ts_s);
+  }
+  ++fleet_.digests_observed;
+  obs_.digests.inc();
+  Device& dv = dev_[device];
+  if (dv.domain.link.down_at(ts_s)) {
+    // Digest export is a data-plane function, so only a *link* partition
+    // silences a device towards the fleet — a local controller crash does
+    // not (the local loss is already counted in that device's FaultStats).
+    ++dv.st.digests_lost_dark;
+    ++fleet_.digests_lost_dark;
+    obs_.digests_lost_dark.inc();
+  } else if (d.label != 1) {
+    ++fleet_.benign_digests;
+  } else {
+    const std::uint64_t key = BlacklistTable::flow_key(d.ft);
+    if (!known_keys_.insert(key).second) {
+      ++fleet_.dedup_suppressed;
+      obs_.dedup_suppressed.inc();
+    } else {
+      ++fleet_.install_intents;
+      obs_.intents.inc();
+      pending_.push_back({key, device, ts_s});
+      if (cfg_.batch_size <= 1 || pending_.size() >= cfg_.batch_size) flush_batch(ts_s);
+    }
+  }
+  sample(ts_s);
+}
+
+void FleetController::sample(double ts_s) {
+  std::size_t degraded = 0;
+  for (const auto& dv : dev_) {
+    if (dv.domain.dark.down_at(ts_s) || dv.queue_len > cfg_.degraded_backlog_threshold) {
+      ++degraded;
+    }
+  }
+  fleet_.devices_degraded_hwm = std::max(fleet_.devices_degraded_hwm, degraded);
+  obs_.devices_degraded.observe(static_cast<double>(degraded));
+  obs_.backlog.observe(static_cast<double>(total_inflight_));
+}
+
+void FleetController::finish() {
+  flush_batch(clock_);
+  advance_to(std::numeric_limits<double>::infinity());
+  for (auto& dv : dev_) {
+    dv.st.rules_resident = dv.resident.size();
+    dv.obs_rules.set(static_cast<double>(dv.resident.size()));
+    dv.obs_queue.set(static_cast<double>(dv.queue_len));
+  }
+}
+
+// --- replay_fleet ----------------------------------------------------------
+
+std::size_t device_of(const traffic::FiveTuple& ft, const FleetConfig& cfg) {
+  const std::size_t n = std::max<std::size_t>(cfg.devices, 1);
+  if (n <= 1) return 0;
+  if (cfg.partition == TenantPartition::kSrcSubnet) {
+    const std::uint32_t subnet = ft.canonical().src_ip >> 16;
+    return static_cast<std::size_t>(ml::mix64(cfg.tenant_seed ^ subnet) % n);
+  }
+  return static_cast<std::size_t>(traffic::bihash(ft, cfg.tenant_seed) % n);
+}
+
+std::vector<traffic::Trace> partition_by_tenant(const traffic::Trace& trace,
+                                                const FleetConfig& cfg) {
+  const std::size_t n = std::max<std::size_t>(cfg.devices, 1);
+  std::vector<traffic::Trace> parts(n);
+  for (const auto& p : trace.packets) {
+    parts[device_of(p.ft, cfg)].packets.push_back(p);
+  }
+  return parts;
+}
+
+FleetResult replay_fleet(const traffic::Trace& trace, const PipelineConfig& cfg,
+                         const DeployedModel& model, const FleetConfig& fcfg) {
+  const std::size_t n = std::max<std::size_t>(fcfg.devices, 1);
+  const bool faults_on = fcfg.faults.any_enabled();
+
+  // --- tenant partition (phase 0) ---
+  std::vector<traffic::Trace> parts(n);
+  std::vector<std::uint32_t> device_of_packet;
+  device_of_packet.reserve(trace.size());
+  for (const auto& p : trace.packets) {
+    const std::size_t d = device_of(p.ft, fcfg);
+    device_of_packet.push_back(static_cast<std::uint32_t>(d));
+    parts[d].packets.push_back(p);
+  }
+  double horizon = 0.0;
+  for (const auto& p : trace.packets) horizon = std::max(horizon, p.ts);
+
+  // --- per-device failure domains ---
+  std::vector<FleetController::FailureDomain> domains(n);
+  std::vector<std::vector<LinkWindow>> crash_windows(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    auto partitions =
+        generate_fault_windows(derive_seed(fcfg.faults.seed, d, kPartitionSalt),
+                               fcfg.faults.partition_rate, fcfg.faults.partition_duration_s,
+                               fcfg.faults.check_interval_s, horizon);
+    crash_windows[d] =
+        generate_fault_windows(derive_seed(fcfg.faults.seed, d, kCrashSalt),
+                               fcfg.faults.crash_rate, fcfg.faults.crash_duration_s,
+                               fcfg.faults.check_interval_s, horizon);
+    std::vector<LinkWindow> dark = partitions;
+    dark.insert(dark.end(), crash_windows[d].begin(), crash_windows[d].end());
+    domains[d].link = DarkSchedule(std::move(partitions));
+    domains[d].dark = DarkSchedule(std::move(dark));
+    domains[d].install_fault_seed = derive_seed(fcfg.faults.seed, d, kInstallSalt);
+    domains[d].partitions = domains[d].link.windows().size();
+    domains[d].crash_windows = crash_windows[d].size();
+  }
+
+  // --- per-device pipeline configs ---
+  // With one device and fleet faults off the config passes through
+  // untouched — that is what makes N=1 byte-identical to replay_sharded.
+  std::vector<PipelineConfig> dcfgs(n, cfg);
+  for (std::size_t d = 0; d < n; ++d) {
+    if (n > 1) dcfgs[d].metrics_prefix = cfg.metrics_prefix + ".dev" + std::to_string(d);
+    if (faults_on) {
+      FaultConfig& f = dcfgs[d].control.faults;
+      f.seed = derive_seed(fcfg.faults.seed, d, kLocalFaultSalt);
+      f.digest_loss_rate = fcfg.faults.digest_loss_rate;
+      f.digest_delay_rate = fcfg.faults.digest_delay_rate;
+      f.digest_delay_s = fcfg.faults.digest_delay_s;
+      f.install_failure_rate = fcfg.faults.install_failure_rate;
+      f.crashes.clear();
+      for (const auto& w : crash_windows[d]) f.crashes.push_back({w.start_s, w.duration_s});
+    }
+  }
+
+  // --- phase 1: per-device sharded replays (parallel, digest taps on) ---
+  ReplayConfig rc = fcfg.replay;
+  rc.capture_digests = true;
+  std::vector<ShardedReplayResult> dres(n);
+  if (n == 1) {
+    dres[0] = replay_sharded(parts[0], dcfgs[0], model, rc);
+  } else {
+    ml::ThreadPool pool(std::min(ml::resolve_threads(fcfg.num_threads), n));
+    pool.parallel_for(n, [&](std::size_t d) {
+      dres[d] = replay_sharded(parts[d], dcfgs[d], model, rc);
+    });
+  }
+
+  // --- phase 2: fleet control plane over the merged digest stream ---
+  FleetController fctl(fcfg.control, std::move(domains), cfg.metrics,
+                       cfg.metrics_prefix + ".fleet");
+  std::vector<std::size_t> cursor(n, 0);
+  while (true) {
+    std::size_t best = n;
+    for (std::size_t d = 0; d < n; ++d) {
+      if (cursor[d] >= dres[d].digests.size()) continue;
+      if (best == n || dres[d].digests[cursor[d]].ts < dres[best].digests[cursor[best]].ts) {
+        best = d;
+      }
+    }
+    if (best == n) break;
+    const TimedDigest& td = dres[best].digests[cursor[best]++];
+    fctl.on_digest(best, td.digest, td.ts);
+  }
+  fctl.finish();
+
+  // --- result assembly ---
+  FleetResult out;
+  out.per_device.resize(n);
+  for (std::size_t d = 0; d < n; ++d) out.per_device[d] = std::move(dres[d].stats);
+  if (n == 1) {
+    out.stats = out.per_device[0];
+  } else {
+    out.stats = merge_stats(out.per_device);
+    if (cfg.record_labels) {
+      // Re-interleave per-device label streams into original trace order,
+      // the same cursor walk replay_sharded does per shard.
+      out.stats.pred.clear();
+      out.stats.truth.clear();
+      out.stats.pred.reserve(trace.size());
+      out.stats.truth.reserve(trace.size());
+      std::vector<std::size_t> next(n, 0);
+      for (const std::uint32_t d : device_of_packet) {
+        const std::size_t i = next[d]++;
+        out.stats.pred.push_back(out.per_device[d].pred[i]);
+        out.stats.truth.push_back(out.per_device[d].truth[i]);
+      }
+    }
+  }
+  out.device_control.resize(n);
+  for (std::size_t d = 0; d < n; ++d) out.device_control[d] = fctl.device_stats(d);
+  out.fleet = fctl.fleet_stats();
+  return out;
+}
+
+// --- conservation audits ---------------------------------------------------
+
+namespace {
+
+bool check_eq(std::ostringstream& os, const char* what, std::size_t lhs, std::size_t rhs) {
+  if (lhs == rhs) return true;
+  os << what << ": " << lhs << " != " << rhs;
+  return false;
+}
+
+}  // namespace
+
+std::string audit_sim_conservation(const SimStats& s) {
+  std::ostringstream os;
+  std::size_t paths = 0;
+  for (const std::size_t c : s.path_count) paths += c;
+  if (!check_eq(os, "path_count sum == packets", paths, s.packets)) return os.str();
+  if (!check_eq(os, "tp+fp+tn+fn == packets", s.tp + s.fp + s.tn + s.fn, s.packets)) {
+    return os.str();
+  }
+  if (!check_eq(os, "dropped == tp+fp", s.dropped, s.tp + s.fp)) return os.str();
+  const FaultStats& f = s.faults;
+  // Every digest that entered the channel mouth is accounted for exactly
+  // once: delivered, injected-dropped, overflowed (digest share), or lost
+  // to a crash (at the mouth or at first delivery).
+  const std::size_t digest_overflow = f.channel_overflow_drops - f.mirror_overflow_drops;
+  if (!check_eq(os, "digests_received == delivered + injected + overflow + crash",
+                f.digests_received,
+                f.digests_delivered + f.injected_digest_drops + digest_overflow +
+                    f.digests_lost_to_crash)) {
+    return os.str();
+  }
+  // Every install attempt either applied a rule or failed ...
+  if (!check_eq(os, "install_attempts == applied + failures", f.install_attempts,
+                f.installs_applied + f.install_failures)) {
+    return os.str();
+  }
+  // ... and every failure was either re-scheduled or dead-lettered.
+  if (!check_eq(os, "install_failures == retries + dead_letters", f.install_failures,
+                f.install_retries + f.dead_letters)) {
+    return os.str();
+  }
+  // Mirrors enter the channel only when the swap loop is on; when any mirror
+  // was emitted, every benign finalisation's mirror ends delivered or lost.
+  if (f.mirrors_enqueued + f.mirrors_delivered + f.mirrors_lost > 0) {
+    if (!check_eq(os, "mirrors delivered + lost == emitted",
+                  f.mirrors_delivered + f.mirrors_lost, s.benign_feature_mirrors)) {
+      return os.str();
+    }
+  }
+  return {};
+}
+
+std::string audit_fleet_conservation(const FleetResult& r, std::size_t injected_packets) {
+  std::ostringstream os;
+  std::size_t dev_packets = 0;
+  for (const auto& s : r.per_device) dev_packets += s.packets;
+  if (!check_eq(os, "sum of per-device packets == injected", dev_packets, injected_packets)) {
+    return os.str();
+  }
+  if (!check_eq(os, "merged packets == injected", r.stats.packets, injected_packets)) {
+    return os.str();
+  }
+  for (std::size_t d = 0; d < r.per_device.size(); ++d) {
+    const std::string err = audit_sim_conservation(r.per_device[d]);
+    if (!err.empty()) return "device " + std::to_string(d) + ": " + err;
+  }
+  std::size_t mouth = 0;
+  for (const auto& s : r.per_device) mouth += s.faults.digests_received;
+  if (!check_eq(os, "fleet digests_observed == sum of channel-mouth digests",
+                r.fleet.digests_observed, mouth)) {
+    return os.str();
+  }
+  if (!check_eq(os, "digests_observed == lost_dark + benign + dedup + intents",
+                r.fleet.digests_observed,
+                r.fleet.digests_lost_dark + r.fleet.benign_digests +
+                    r.fleet.dedup_suppressed + r.fleet.install_intents)) {
+    return os.str();
+  }
+  std::size_t enq = 0, applied = 0, dead = 0, bp = 0;
+  for (std::size_t d = 0; d < r.device_control.size(); ++d) {
+    const DeviceFleetStats& dc = r.device_control[d];
+    enq += dc.installs_enqueued;
+    applied += dc.installs_applied;
+    dead += dc.dead_letters;
+    bp += dc.backpressure_drops;
+    // Each enqueued op resolves exactly once after finish().
+    if (dc.installs_enqueued != dc.installs_applied + dc.dead_letters) {
+      os << "device " << d << ": enqueued == applied + dead_letters: "
+         << dc.installs_enqueued << " != " << dc.installs_applied + dc.dead_letters;
+      return os.str();
+    }
+    if (dc.install_failures != dc.install_retries + dc.dead_letters) {
+      os << "device " << d << ": failures == retries + dead_letters: " << dc.install_failures
+         << " != " << dc.install_retries + dc.dead_letters;
+      return os.str();
+    }
+    // Catch-up only replays rules that were dropped or abandoned.
+    if (dc.catchup_installs > dc.backpressure_drops + dc.dead_letters) {
+      os << "device " << d << ": catchup_installs " << dc.catchup_installs
+         << " exceeds backpressure_drops + dead_letters "
+         << dc.backpressure_drops + dc.dead_letters;
+      return os.str();
+    }
+    if (dc.rules_resident > r.fleet.install_intents) {
+      os << "device " << d << ": rules_resident " << dc.rules_resident
+         << " exceeds fleet install_intents " << r.fleet.install_intents;
+      return os.str();
+    }
+  }
+  if (!check_eq(os, "ops addressed == enqueued + backpressure_drops",
+                r.fleet.install_ops_addressed, enq + bp)) {
+    return os.str();
+  }
+  if (!check_eq(os, "fleet installs_applied == per-device sum", r.fleet.installs_applied,
+                applied)) {
+    return os.str();
+  }
+  if (!check_eq(os, "fleet dead_letters == per-device sum", r.fleet.dead_letters, dead)) {
+    return os.str();
+  }
+  return {};
+}
+
+}  // namespace iguard::switchsim

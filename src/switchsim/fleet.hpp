@@ -1,0 +1,353 @@
+// Fleet-scale deployment simulator (DESIGN.md §4f; ROADMAP item 3). The
+// paper runs one Tofino; production is N switches under one control plane.
+// Each simulated device runs the existing sharded pipeline (replay.hpp)
+// over its tenant partition of the trace — flows never cross devices, so
+// per-flow state stays exact and the data-plane phase parallelises freely —
+// while a central FleetController consumes the merged channel-mouth digest
+// stream on the event clock and turns it into fleet-wide rule installs:
+// deduped (one intent per flow key), batched, and broadcast to every
+// device's bounded install queue.
+//
+// Robustness model — each device is an independent failure domain:
+//   * link partitions: the device is unreachable from the fleet controller
+//     for a window; its digests are lost and installs addressed to it are
+//     deferred (served stale, tracked by a staleness gauge — never blocking
+//     the rest of the fleet);
+//   * local controller crashes: the device's own control agent restarts
+//     (faults.hpp crash windows, generated per device from an independent
+//     SplitMix64 stream); the fleet still hears the data-plane digests
+//     (digest export is an ASIC function) but cannot program tables;
+//   * install faults: per-device install latency, failure injection with
+//     capped exponential backoff then dead-letter, bounded queues whose
+//     overflow is backpressure (counted, dead-lettered into the missed set)
+//     rather than an unbounded buffer.
+// Recovery is deterministic: when a device's dark window ends, the fleet
+// controller re-syncs it with one coalesced catch-up pass over the rules it
+// missed (exempt from failure injection, like the local recovery sweep).
+//
+// Determinism contract: with N=1 and fleet faults off, replay_fleet is
+// byte-identical to replay_sharded (same stats, same obs non-"timing."
+// keys); with faults on, the result is a pure function of (trace, config,
+// seeds) at any worker thread count — every fleet decision happens on the
+// event clock over the merged digest stream, whose order is fixed by
+// (timestamp, device, shard).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "switchsim/replay.hpp"
+
+namespace iguard::switchsim {
+
+/// One interval [start_s, end_s()) during which a device is unreachable
+/// (link partition) or its control agent is down (local crash).
+struct LinkWindow {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+
+  double end_s() const { return start_s + duration_s; }
+};
+
+/// Deterministic window schedule: at every check_interval_s step of the
+/// trace horizon one Bernoulli(rate) draw decides whether a window of
+/// duration_s opens there. The number of draws is fixed by the horizon, so
+/// changing an outcome never shifts later draws.
+std::vector<LinkWindow> generate_fault_windows(std::uint64_t seed, double rate,
+                                               double duration_s, double check_interval_s,
+                                               double horizon_s);
+
+/// Sorted, overlap-merged window schedule (adjacent windows coalesce, so
+/// up_after never lands inside another window).
+class DarkSchedule {
+ public:
+  DarkSchedule() = default;
+  explicit DarkSchedule(std::vector<LinkWindow> windows);
+
+  bool down_at(double ts_s) const;
+  /// Earliest time >= ts_s outside every window (end of the containing
+  /// window; windows are merged, so one lookup suffices).
+  double up_after(double ts_s) const;
+  const std::vector<LinkWindow>& windows() const { return windows_; }
+
+ private:
+  std::vector<LinkWindow> windows_;  // disjoint, sorted by start_s
+};
+
+/// Per-device fault programme. Every stream is derived from (seed, device),
+/// so devices fail independently and enabling one device's faults never
+/// perturbs another's draw sequence. Rates apply uniformly across the
+/// fleet; the seeds differ per device.
+struct FleetFaultConfig {
+  std::uint64_t seed = 0xF1EE70ull;
+  // Local control-plane faults, applied to each device's own Controller
+  // (faults.hpp) with a device-derived seed.
+  double digest_loss_rate = 0.0;
+  double digest_delay_rate = 0.0;
+  double digest_delay_s = 0.0;
+  double install_failure_rate = 0.0;  // local controller installs
+  /// Local controller crash windows: P(window opens) per check interval.
+  double crash_rate = 0.0;
+  double crash_duration_s = 0.0;
+  /// Link partitions (device unreachable from the fleet controller).
+  double partition_rate = 0.0;
+  double partition_duration_s = 0.0;
+  double check_interval_s = 1.0;
+
+  bool any_enabled() const {
+    return digest_loss_rate > 0.0 || digest_delay_rate > 0.0 ||
+           install_failure_rate > 0.0 || (crash_rate > 0.0 && crash_duration_s > 0.0) ||
+           (partition_rate > 0.0 && partition_duration_s > 0.0);
+  }
+};
+
+/// Central-controller behaviour knobs. Defaults install each digest
+/// immediately (batch of 1, no latency, unbounded queues, no faults) so a
+/// default-constructed fleet adds no control-plane behaviour of its own.
+struct FleetControllerConfig {
+  /// Install intents accumulated before a flush (1 = per-digest installs).
+  std::size_t batch_size = 1;
+  /// Also flush when this much event time passed since the last flush
+  /// (0 = size-only batching).
+  double batch_interval_s = 0.0;
+  /// Flush -> applied-on-device latency (event clock).
+  double install_latency_s = 0.0;
+  /// Per-install failure probability at the device boundary, drawn from a
+  /// per-device stream; failures retry with capped exponential backoff.
+  double install_failure_rate = 0.0;
+  std::size_t max_install_retries = 5;
+  double retry_backoff_s = 0.001;
+  double retry_backoff_cap_s = 0.100;
+  /// In-flight installs per device; exceeding it is backpressure — the op
+  /// is dropped, dead-lettered into the device's missed set, and re-synced
+  /// at the next rejoin (or left to the final flush). 0 = unbounded.
+  std::size_t install_queue_capacity = 0;
+  /// Install every rule on every device (tenant isolation does not limit
+  /// where an attacker shows up next); false = source device only.
+  bool broadcast = true;
+  /// A device counts as degraded while dark or while its install queue
+  /// exceeds this many in-flight ops.
+  std::size_t degraded_backlog_threshold = 64;
+  /// Observability cadence: fleet backlog / devices-degraded are sampled
+  /// every N digests (event count, deterministic).
+  std::size_t sample_every = 8;
+  std::size_t sample_capacity = 4096;
+};
+
+/// How the trace is split across devices.
+enum class TenantPartition {
+  kFlowHash,   // direction-invariant bihash of the canonical 5-tuple
+  kSrcSubnet,  // canonical lower endpoint's /16 — co-locates subnets
+};
+
+struct FleetConfig {
+  std::size_t devices = 1;
+  TenantPartition partition = TenantPartition::kFlowHash;
+  /// Seed of the tenant-partition hash; independent of shard/slot seeds.
+  std::uint64_t tenant_seed = 0x7E4A47ull;
+  /// Worker threads for the device loop (each device then runs its own
+  /// sharded replay per `replay`); 0 = one per device, capped at hardware
+  /// concurrency. The result never depends on this value.
+  std::size_t num_threads = 0;
+  /// Per-device sharding of the data-plane replay.
+  ReplayConfig replay{};
+  FleetFaultConfig faults{};
+  FleetControllerConfig control{};
+};
+
+/// Fleet-controller accounting for one device (the control-plane half of
+/// its failure domain; the data-plane half lives in its SimStats.faults).
+struct DeviceFleetStats {
+  std::size_t digests_lost_dark = 0;    // emitted while the link was partitioned
+  std::size_t installs_enqueued = 0;    // ops admitted to the install queue
+  std::size_t installs_applied = 0;     // ops resolved successfully
+  std::size_t install_failures = 0;     // failed attempts (pre-retry)
+  std::size_t install_retries = 0;      // attempts re-scheduled
+  std::size_t dead_letters = 0;         // abandoned after max retries
+  std::size_t backpressure_drops = 0;   // queue full at flush time
+  std::size_t deferred_while_dark = 0;  // ops parked until the window closed
+  std::size_t catchup_installs = 0;     // coalesced re-sync installs on rejoin
+  std::size_t partitions = 0;           // link windows in the schedule
+  std::size_t crash_windows = 0;        // local crash windows in the schedule
+  std::size_t queue_hwm = 0;            // in-flight install high-water mark
+  std::size_t rules_resident = 0;       // distinct rules on the device at end
+  double staleness_hwm_s = 0.0;         // worst intent -> applied lag
+
+  bool operator==(const DeviceFleetStats&) const = default;
+};
+
+/// Fleet-wide aggregates. Conservation (audit_fleet):
+///   digests_observed == digests_lost_dark + benign_digests
+///                       + dedup_suppressed + install_intents
+///   per device: installs_enqueued + backpressure_drops ==
+///               install_intents (broadcast) / intents addressed to it
+///   per device: installs_enqueued == installs_applied + dead_letters
+struct FleetAggregateStats {
+  std::size_t devices = 0;
+  std::size_t digests_observed = 0;   // merged channel-mouth stream
+  std::size_t digests_lost_dark = 0;  // source link partitioned
+  std::size_t benign_digests = 0;     // label 0: no install intent
+  std::size_t install_intents = 0;    // post-dedup new rules
+  std::size_t dedup_suppressed = 0;   // digests for an already-known rule
+  std::size_t batches = 0;            // flushes performed
+  /// Device-targeted install ops produced by flushes (intents × fan-out);
+  /// every one is either enqueued on its device or backpressure-dropped.
+  std::size_t install_ops_addressed = 0;
+  std::size_t installs_applied = 0;   // sum over devices
+  std::size_t dead_letters = 0;       // sum over devices
+  std::size_t backlog_hwm = 0;        // fleet-total in-flight installs HWM
+  std::size_t devices_degraded_hwm = 0;
+  double staleness_hwm_s = 0.0;       // worst lag across the fleet
+
+  bool operator==(const FleetAggregateStats&) const = default;
+};
+
+/// Event-clocked central controller. Feed the merged digest stream through
+/// on_digest() in (timestamp, device) order, then finish(); all install
+/// activity (batch flushes, per-device queues, retries, rejoin catch-ups)
+/// happens on the event clock, so two identical runs are byte-identical.
+class FleetController {
+ public:
+  /// One device's failure domain as the fleet controller knows it.
+  struct FailureDomain {
+    DarkSchedule link;  // partitions: digests AND installs blocked
+    DarkSchedule dark;  // partitions + local crashes: installs blocked
+    std::uint64_t install_fault_seed = 0;
+    std::size_t partitions = 0;
+    std::size_t crash_windows = 0;
+  };
+
+  /// `metrics` (optional, caller-owned) registers fleet aggregates and
+  /// per-device gauges under `<prefix>.*`.
+  FleetController(FleetControllerConfig cfg, std::vector<FailureDomain> domains,
+                  obs::Registry* metrics = nullptr,
+                  std::string_view metrics_prefix = "fleet");
+
+  /// One channel-mouth digest from `device` at event time ts_s. Calls must
+  /// arrive in nondecreasing ts_s order.
+  void on_digest(std::size_t device, const Digest& d, double ts_s);
+
+  /// Deliver every install op and rejoin catch-up due by now_s.
+  void advance_to(double now_s);
+
+  /// End-of-trace drain: flush the pending batch and resolve everything
+  /// still in flight, including rejoin re-syncs.
+  void finish();
+
+  std::size_t devices() const { return dev_.size(); }
+  const FleetAggregateStats& fleet_stats() const { return fleet_; }
+  const DeviceFleetStats& device_stats(std::size_t d) const { return dev_[d].st; }
+  /// Distinct rules resident on device d (the re-sync source of truth).
+  std::size_t rules_resident(std::size_t d) const { return dev_[d].resident.size(); }
+
+ private:
+  struct Op {
+    std::size_t device = 0;
+    std::uint64_t key = 0;
+    double intent_ts = 0.0;  // digest timestamp that created the intent
+    double due_ts = 0.0;
+    std::uint32_t attempt = 0;
+    std::uint64_t seq = 0;
+  };
+  struct Later {
+    bool operator()(const Op& a, const Op& b) const {
+      return a.due_ts != b.due_ts ? a.due_ts > b.due_ts : a.seq > b.seq;
+    }
+  };
+  struct Device {
+    FailureDomain domain;
+    SplitMix64 install_faults{0};
+    std::size_t queue_len = 0;
+    std::size_t next_rejoin = 0;  // index into domain.dark.windows()
+    std::unordered_set<std::uint64_t> resident;
+    /// Rules that failed to land (backpressure or dead letter) with the
+    /// earliest intent timestamp — the rejoin catch-up worklist.
+    std::unordered_map<std::uint64_t, double> missed;
+    DeviceFleetStats st;
+    obs::Gauge obs_queue;
+    obs::Gauge obs_rules;
+    obs::Gauge obs_staleness;
+  };
+
+  double next_rejoin_ts(const Device& dev) const;
+  void run_rejoin(std::size_t d, double ts_s);
+  void flush_batch(double ts_s);
+  void deliver(const Op& op);
+  void apply(std::size_t d, std::uint64_t key, double intent_ts, double apply_ts);
+  double backoff_delay(std::uint32_t attempt) const;
+  void sample(double ts_s);
+
+  struct Obs {
+    obs::Counter digests;
+    obs::Counter digests_lost_dark;
+    obs::Counter intents;
+    obs::Counter dedup_suppressed;
+    obs::Counter batches;
+    obs::Counter installs;
+    obs::Counter install_retries;
+    obs::Counter dead_letters;
+    obs::Counter backpressure_drops;
+    obs::Counter catchup_installs;
+    obs::Histogram staleness_s;  // intent -> applied, event-clocked
+    obs::Series backlog;         // fleet-total in-flight installs
+    obs::Series devices_degraded;
+  };
+
+  FleetControllerConfig cfg_;
+  std::vector<Device> dev_;
+  Obs obs_;
+  std::priority_queue<Op, std::vector<Op>, Later> ops_;
+  /// Pending batch: (key, source device, intent ts), deduped fleet-wide.
+  struct Intent {
+    std::uint64_t key = 0;
+    std::size_t source = 0;
+    double ts = 0.0;
+  };
+  std::vector<Intent> pending_;
+  std::unordered_set<std::uint64_t> known_keys_;
+  std::size_t total_inflight_ = 0;
+  double last_flush_ts_ = 0.0;
+  std::uint64_t seq_ = 0;
+  double clock_ = 0.0;
+  FleetAggregateStats fleet_;
+};
+
+struct FleetResult {
+  /// Field-wise device merge (merge_stats), pred/truth re-interleaved into
+  /// the original trace's packet order. With devices == 1 this is exactly
+  /// the single-switch ShardedReplayResult::stats.
+  SimStats stats;
+  std::vector<SimStats> per_device;
+  std::vector<DeviceFleetStats> device_control;
+  FleetAggregateStats fleet;
+};
+
+/// Device owning a 5-tuple under the fleet's tenant partition.
+/// Direction-invariant for both partition modes.
+std::size_t device_of(const traffic::FiveTuple& ft, const FleetConfig& cfg);
+
+/// Partition a trace into per-device sub-traces, preserving packet order.
+std::vector<traffic::Trace> partition_by_tenant(const traffic::Trace& trace,
+                                                const FleetConfig& cfg);
+
+/// Replay `trace` across cfg.devices simulated switches. Phase 1 runs each
+/// device's sharded replay in parallel (digest streams captured at the
+/// channel mouth); phase 2 feeds the merged stream through a
+/// FleetController. Byte-identical to replay_sharded when devices == 1 and
+/// fleet faults are off; deterministic at any thread count otherwise.
+FleetResult replay_fleet(const traffic::Trace& trace, const PipelineConfig& cfg,
+                         const DeployedModel& model, const FleetConfig& fcfg = {});
+
+/// Conservation audits shared by tests/fault_audit.hpp and bench_fleet.
+/// Empty string = every identity holds; otherwise the first violated
+/// identity, spelled out with both sides' values.
+std::string audit_sim_conservation(const SimStats& stats);
+std::string audit_fleet_conservation(const FleetResult& result, std::size_t injected_packets);
+
+}  // namespace iguard::switchsim

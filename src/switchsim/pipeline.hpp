@@ -127,6 +127,10 @@ struct SimStats {
   std::vector<std::uint8_t> truth;
 
   std::size_t path(Path p) const { return path_count[static_cast<std::size_t>(p)]; }
+
+  /// Member-wise equality — what the fleet N=1 parity gate and the
+  /// determinism property tests compare (pred/truth included).
+  bool operator==(const SimStats&) const = default;
 };
 
 class Pipeline {

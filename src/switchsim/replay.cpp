@@ -39,18 +39,23 @@ SimStats merge_stats(const std::vector<SimStats>& parts) {
     out.fp += s.fp;
     out.tn += s.tn;
     out.fn += s.fn;
+    out.faults.digests_received += s.faults.digests_received;
+    out.faults.digests_delivered += s.faults.digests_delivered;
     out.faults.channel_overflow_drops += s.faults.channel_overflow_drops;
+    out.faults.mirror_overflow_drops += s.faults.mirror_overflow_drops;
     out.faults.injected_digest_drops += s.faults.injected_digest_drops;
     out.faults.delayed_digests += s.faults.delayed_digests;
     // High-water marks of independent channels: the sum bounds the fleet's
     // aggregate backlog (each shard peaks at a different time).
     out.faults.backlog_hwm += s.faults.backlog_hwm;
     out.faults.install_attempts += s.faults.install_attempts;
+    out.faults.installs_applied += s.faults.installs_applied;
     out.faults.install_failures += s.faults.install_failures;
     out.faults.install_retries += s.faults.install_retries;
     out.faults.dead_letters += s.faults.dead_letters;
     out.faults.crashes += s.faults.crashes;
     out.faults.digests_lost_to_crash += s.faults.digests_lost_to_crash;
+    out.faults.retry_installs_lost_to_crash += s.faults.retry_installs_lost_to_crash;
     out.faults.recovery_installs += s.faults.recovery_installs;
     out.faults.leaked_packets += s.faults.leaked_packets;
     out.faults.mirrors_enqueued += s.faults.mirrors_enqueued;
@@ -101,17 +106,24 @@ ShardedReplayResult replay_sharded(const traffic::Trace& trace, const PipelineCo
   // wall times land under "timing." — wall clock is the one thing that may
   // differ run to run.
   const bool obs_on = cfg.metrics != nullptr && cfg.metrics->enabled();
+  const bool clone_cfgs = obs_on || rcfg.capture_digests;
   std::vector<PipelineConfig> shard_cfgs;
   std::vector<obs::Gauge> shard_wall_ns(k);
   obs::Gauge imbalance;
+  if (clone_cfgs) shard_cfgs.assign(k, cfg);
   if (obs_on) {
-    shard_cfgs.assign(k, cfg);
     for (std::size_t s = 0; s < k; ++s) {
       const std::string sp = cfg.metrics_prefix + ".shard" + std::to_string(s);
       shard_cfgs[s].metrics_prefix = sp;
       shard_wall_ns[s] = cfg.metrics->gauge("timing." + sp + ".wall_ns");
     }
     imbalance = cfg.metrics->gauge("timing." + cfg.metrics_prefix + ".shard_imbalance");
+  }
+  // Digest capture: one tap vector per shard (preallocated before the
+  // parallel loop, so the pointers stay stable), merged below.
+  std::vector<std::vector<TimedDigest>> shard_digests(rcfg.capture_digests ? k : 0);
+  if (rcfg.capture_digests) {
+    for (std::size_t s = 0; s < k; ++s) shard_cfgs[s].control.digest_tap = &shard_digests[s];
   }
 
   // One thread per shard is plenty: each task is a full sequential replay.
@@ -120,7 +132,7 @@ ShardedReplayResult replay_sharded(const traffic::Trace& trace, const PipelineCo
   std::vector<double> wall_ns(k, 0.0);
   pool.parallel_for(k, [&](std::size_t s) {
     const auto t0 = std::chrono::steady_clock::now();
-    Pipeline pipe(obs_on ? shard_cfgs[s] : cfg, model);
+    Pipeline pipe(clone_cfgs ? shard_cfgs[s] : cfg, model);
     shard_stats[s] = pipe.run(parts[s]);
     if (obs_on) {
       wall_ns[s] = static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -137,6 +149,26 @@ ShardedReplayResult replay_sharded(const traffic::Trace& trace, const PipelineCo
   }
 
   out.stats = merge_stats(shard_stats);
+  if (rcfg.capture_digests) {
+    // K-way merge of the per-shard taps. Each shard's log is already in
+    // nondecreasing timestamp order (packets are processed in trace order
+    // within a shard); strict less-than keeps the lowest shard index on
+    // ties, so the merged stream is deterministic.
+    std::size_t total = 0;
+    for (const auto& v : shard_digests) total += v.size();
+    out.digests.reserve(total);
+    std::vector<std::size_t> cursor(k, 0);
+    while (out.digests.size() < total) {
+      std::size_t best = k;
+      for (std::size_t s = 0; s < k; ++s) {
+        if (cursor[s] >= shard_digests[s].size()) continue;
+        if (best == k || shard_digests[s][cursor[s]].ts < shard_digests[best][cursor[best]].ts) {
+          best = s;
+        }
+      }
+      out.digests.push_back(shard_digests[best][cursor[best]++]);
+    }
+  }
   if (cfg.record_labels) {
     // Re-interleave the per-shard label streams into original trace order:
     // walk the trace, taking each packet's verdict from the front of its

@@ -28,6 +28,11 @@ struct ReplayConfig {
   /// Seed of the shard-partition hash. Independent of the FlowStore /
   /// blacklist seeds so sharding never correlates with slot placement.
   std::uint64_t shard_seed = 0x51A2D0ull;
+  /// Capture every digest at the channel mouth into
+  /// ShardedReplayResult::digests (time-ordered across shards). The fleet
+  /// simulator feeds this stream to its central controller. Capturing does
+  /// not perturb the replay: the tap records before any fault decision.
+  bool capture_digests = false;
 };
 
 /// Shard owning a 5-tuple. Direction-invariant: both directions of a
@@ -50,6 +55,10 @@ struct ShardedReplayResult {
   /// packet order so downstream per-packet metrics are shard-agnostic.
   SimStats stats;
   std::vector<SimStats> per_shard;  // shard-indexed
+  /// Channel-mouth digest stream, merged across shards into nondecreasing
+  /// timestamp order (ties resolve by shard index, so the merge is
+  /// deterministic). Populated only when ReplayConfig::capture_digests.
+  std::vector<TimedDigest> digests;
 };
 
 /// Replay `trace` through `cfg.shards` independent pipelines in parallel.

@@ -61,6 +61,8 @@ struct SwapStats {
   std::size_t coalesced_triggers = 0;    // absorbed while one was in flight
   std::size_t bundles_retired = 0;       // reclaimed after last reader moved on
   std::uint64_t final_version = 0;       // live version at end of run (0 = loop off)
+
+  bool operator==(const SwapStats&) const = default;
 };
 
 /// Owns the ModelHandle, the staging whitelist, the drift detector, and the

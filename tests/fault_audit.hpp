@@ -1,0 +1,28 @@
+// Conservation-audit assertions shared by the fault-injection and fleet
+// tests (and, in library form, by bench_fleet's gates): every packet,
+// digest, mirror, and install op must be accounted for exactly once. The
+// checks themselves live in switchsim/fleet.{hpp,cpp} so the benches can
+// reuse them without linking gtest; these wrappers just turn the first
+// violated identity into a readable assertion failure.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "switchsim/fleet.hpp"
+
+namespace iguard::switchsim {
+
+inline ::testing::AssertionResult AuditSimConservation(const SimStats& stats) {
+  const std::string err = audit_sim_conservation(stats);
+  if (err.empty()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << err;
+}
+
+inline ::testing::AssertionResult AuditFleetConservation(const FleetResult& result,
+                                                         std::size_t injected_packets) {
+  const std::string err = audit_fleet_conservation(result, injected_packets);
+  if (err.empty()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << err;
+}
+
+}  // namespace iguard::switchsim

@@ -3,6 +3,7 @@
 // and run-to-run determinism.
 #include <gtest/gtest.h>
 
+#include "fault_audit.hpp"
 #include "switchsim/faults.hpp"
 #include "switchsim/pipeline.hpp"
 
@@ -331,6 +332,7 @@ TEST_F(FaultPipelineTest, FaultRunsAreDeterministic) {
 
   const SimStats a = make(cfg).run(t);
   const SimStats b = make(cfg).run(t);
+  EXPECT_TRUE(AuditSimConservation(a));
   EXPECT_EQ(a.pred, b.pred);
   EXPECT_EQ(a.path_count, b.path_count);
   EXPECT_EQ(a.faults.injected_digest_drops, b.faults.injected_digest_drops);
@@ -605,6 +607,10 @@ TEST_F(FaultPipelineTest, SwapGridLosesNoPacketsUnderFaultsAndEviction) {
         EXPECT_EQ(paths, st.packets) << cell;
         EXPECT_EQ(st.packets, t.size()) << cell;
         EXPECT_EQ(st.tp + st.fp + st.tn + st.fn, st.packets) << cell;
+        // Full channel-mouth audit: every digest delivered, injected-dropped,
+        // overflowed, or crash-lost; every install applied or failed; every
+        // failure retried or dead-lettered (shared with the fleet tests).
+        EXPECT_TRUE(AuditSimConservation(st)) << cell;
         if (swap_on) {
           EXPECT_EQ(st.faults.mirrors_delivered + st.faults.mirrors_lost,
                     st.benign_feature_mirrors)
