@@ -1,0 +1,42 @@
+// Fuzz target: the 14-byte digest wire codec (io/ingest.hpp). Contract:
+//   - decode_digest_stream never throws/crashes on arbitrary bytes;
+//   - conservation: offered == decoded + rejected;
+//   - every decoded digest is schema-clean (proto in {1,6,17}, label 0/1)
+//     and survives an encode -> decode round trip bit-identically.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "io/ingest.hpp"
+
+namespace {
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "fuzz_digest_decode: invariant violated: %s\n", what);
+    std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  iguard::io::DigestDecodeStats stats;
+  const auto digests = iguard::io::decode_digest_stream(bytes, stats);
+
+  check(stats.conserved(), "offered != decoded + rejected");
+  check(digests.size() == stats.decoded, "vector size != decoded");
+  for (const auto& d : digests) {
+    check(d.ft.proto == 1 || d.ft.proto == 6 || d.ft.proto == 17, "bad proto decoded");
+    check(d.label == 0 || d.label == 1, "bad label decoded");
+    const std::string wire = iguard::io::encode_digest(d);
+    check(wire.size() == iguard::switchsim::Digest::kBytes, "re-encode size");
+    iguard::switchsim::Digest back;
+    check(iguard::io::decode_digest(wire, back), "re-encoded digest failed decode");
+    check(back.ft == d.ft && back.label == d.label, "round trip not bit-identical");
+  }
+  return 0;
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Full verification sweep: build + ctest plain, then under each sanitizer.
-# Usage: scripts/check.sh [--fast|--bench-smoke|--obs-smoke|--swap-smoke|--fleet-smoke|--csv-drift]
+# Usage: scripts/check.sh [--fast|--bench-smoke|--obs-smoke|--swap-smoke|--fleet-smoke|--ingest-smoke|--fuzz-smoke|--csv-drift]
 #   --fast         plain build/test only (skip the sanitizer matrix)
 #   --bench-smoke  Release build + bench_throughput --smoke: fails if the
 #                  compiled match engine diverges from the linear scan, if
@@ -21,6 +21,16 @@
 #                  non-timing key of BENCH_fleet.json / the fleet
 #                  observability snapshot differs between the two identical
 #                  runs (DESIGN.md §4f)
+#   --ingest-smoke Release build + bench_ingest --smoke twice: fails on any
+#                  ingest-gate violation (hardened chain diverging from plain
+#                  replay, thread-count non-determinism, conservation-audit
+#                  failure, ring opacity) or if any non-timing key of
+#                  BENCH_ingest.json / the ingest observability snapshot
+#                  differs between the two identical runs (DESIGN.md §4g)
+#   --fuzz-smoke   Build the TraceReader and digest-decode fuzz targets under
+#                  ASan then UBSan; each replays its committed seed corpus
+#                  plus seeded mutations and aborts on any crash, sanitizer
+#                  report, or conservation violation
 #   --csv-drift    Release build + regenerate the committed fig*/table*/b*
 #                  CSVs in a scratch dir: fails if any regenerated CSV
 #                  differs from the committed copy (stale-artifact gate)
@@ -213,6 +223,86 @@ print("fleet-smoke OK: non-timing fleet snapshot byte-identical across runs")
 EOF
 }
 
+ingest_smoke() {
+  local dir="build-check-bench"
+  echo "=== ingest-smoke (Release) ==="
+  warn_if_single_core
+  release_build bench_ingest
+  local a="${dir}/ingest-run-a" b="${dir}/ingest-run-b"
+  rm -rf "${a}" "${b}"
+  mkdir -p "${a}" "${b}"
+  # The bench itself exits non-zero on any ingest-gate violation (hardened
+  # chain diverging from plain replay, thread-count non-determinism in a
+  # chaos x shed x shard cell, conservation failure, ring opacity); run it
+  # twice so both artifacts can be compared across identical runs.
+  (cd "${a}" && ../bench/bench_ingest --smoke --out BENCH_ingest_smoke.json)
+  (cd "${b}" && ../bench/bench_ingest --smoke --out BENCH_ingest_smoke.json >/dev/null)
+  # Artifact sanity: verdict fields present and true, and every key outside
+  # the top-level "timing" object byte-identical between the two runs.
+  python3 - "${a}/BENCH_ingest_smoke.json" "${b}/BENCH_ingest_smoke.json" <<'EOF'
+import json, sys
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+a, b = load(sys.argv[1]), load(sys.argv[2])
+for key in ("hardware_threads", "cells", "passthrough_parity",
+            "ring_transparent", "deterministic", "conserved", "timing"):
+    assert key in a, f"BENCH_ingest json missing {key!r}"
+assert a["passthrough_parity"] is True, "hardened chain diverges from plain replay"
+assert a["ring_transparent"] is True, "SPSC ring pump altered the packet stream"
+assert a["deterministic"] is True, "ingest replay non-deterministic across threads"
+assert a["conserved"] is True, "ingest conservation audit failed"
+assert len(a["cells"]) > 0, "ingest sweep produced no cells"
+for c in a["cells"]:
+    assert c["offered"] == c["accepted"] + c["quarantined"], \
+        f"cell {c['chaos']}/{c['policy']}/{c['shards']}: offered != accepted + quarantined"
+    assert c["accepted"] == c["admitted"] + c["shed"], \
+        f"cell {c['chaos']}/{c['policy']}/{c['shards']}: accepted != admitted + shed"
+    assert c["admitted"] == c["replayed"], \
+        f"cell {c['chaos']}/{c['policy']}/{c['shards']}: admitted != replayed"
+sa = json.dumps({k: v for k, v in a.items() if k != "timing"}, sort_keys=True)
+sb = json.dumps({k: v for k, v in b.items() if k != "timing"}, sort_keys=True)
+assert sa == sb, "non-timing BENCH_ingest keys differ between identical runs"
+print("ingest-smoke artifact OK:", sys.argv[1])
+EOF
+  # Ingest metrics obey the §4d policy: wall-clock under timing.*, everything
+  # else byte-deterministic — including the ingest.* counters routed into the
+  # instrumented run's observability snapshot.
+  python3 - "${a}/BENCH_ingest_obs.json" "${b}/BENCH_ingest_obs.json" <<'EOF'
+import json, sys
+def non_timing(path):
+    with open(path) as f:
+        j = json.load(f)
+    j["scalars"] = {k: v for k, v in j["scalars"].items() if not k.startswith("timing.")}
+    j["series"] = {k: v for k, v in j.get("series", {}).items() if not k.startswith("timing.")}
+    return json.dumps(j, sort_keys=True)
+a, b = non_timing(sys.argv[1]), non_timing(sys.argv[2])
+assert 'ingest.' in a, "snapshot has no ingest instruments"
+assert 'host.hardware_threads' in a, "snapshot missing host.hardware_threads"
+assert a == b, "non-timing ingest snapshot keys differ between identical runs"
+print("ingest-smoke OK: non-timing ingest snapshot byte-identical across runs")
+EOF
+}
+
+fuzz_smoke() {
+  echo "=== fuzz-smoke (ASan + UBSan) ==="
+  # Fuzz the untrusted-input parsers under both sanitizers, one at a time
+  # (they cannot be combined with the cmake cache wiring). Each target
+  # replays its committed seed corpus and then runs seeded deterministic
+  # mutations; any crash, sanitizer report, or conservation violation
+  # aborts.
+  local san
+  for san in address undefined; do
+    local dir="build-check-fuzz-${san}"
+    echo "--- fuzz targets under ${san} sanitizer ---"
+    cmake -B "${dir}" -S . "${GENERATOR_ARGS[@]}" -DIGUARD_SANITIZE="${san}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    cmake --build "${dir}" -j "${JOBS}" --target fuzz_trace_reader fuzz_digest_decode
+    "${dir}/fuzz/fuzz_trace_reader" --iters 2048 --seed 7 fuzz/corpus/trace_reader
+    "${dir}/fuzz/fuzz_digest_decode" --iters 2048 --seed 7 fuzz/corpus/digest
+  done
+}
+
 # The committed paper artifacts regenerated by --csv-drift, with the bench
 # that writes each. ablation.csv / consistency.csv are sweep-style artifacts
 # outside the fig*/table*/b* set and are not gated.
@@ -268,6 +358,16 @@ fi
 if [[ "${1:-}" == "--fleet-smoke" ]]; then
   fleet_smoke
   echo "=== fleet smoke passed ==="
+  exit 0
+fi
+if [[ "${1:-}" == "--ingest-smoke" ]]; then
+  ingest_smoke
+  echo "=== ingest smoke passed ==="
+  exit 0
+fi
+if [[ "${1:-}" == "--fuzz-smoke" ]]; then
+  fuzz_smoke
+  echo "=== fuzz smoke passed ==="
   exit 0
 fi
 if [[ "${1:-}" == "--csv-drift" ]]; then

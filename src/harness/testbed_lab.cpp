@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "eval/gridsearch.hpp"
+#include "io/ingest.hpp"
 #include "switchsim/flow_state.hpp"
 #include "trafficgen/benign.hpp"
 
@@ -206,6 +207,14 @@ Deployment TestbedLab::deploy_with_traces(const traffic::Trace& attack_val,
 TestbedOutcome TestbedLab::run_with_traces(const traffic::Trace& attack_val,
                                            const traffic::Trace& attack_test) const {
   Deployment dep = deploy_with_traces(attack_val, attack_test);
+  // Replay input crosses the hardened ingest boundary: anything a generator
+  // or future file loader hands us is validated, with invalid packets
+  // quarantined instead of reaching the pipeline. Valid traces pass through
+  // untouched, so faithful runs stay byte-identical.
+  {
+    io::IngestResult ingest = io::ingest_trace(dep.test_trace);
+    dep.test_trace = std::move(ingest.trace);
+  }
   TestbedOutcome out;
   out.selected_scale = dep.selected_scale;
   for (const auto& p : dep.test_trace.packets) out.offered_bytes += p.length;

@@ -1,0 +1,103 @@
+#include "io/chaos.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+namespace iguard::io {
+
+std::string mangle_csv(std::string_view csv, const switchsim::FaultConfig& faults,
+                       std::size_t batch_records, ChaosStats& stats) {
+  if (!faults.ingest_any_enabled()) return std::string(csv);
+  if (batch_records == 0) batch_records = 1;
+  switchsim::FaultInjector inj(faults);
+
+  // Split off the header (exempt) and collect data records.
+  std::string_view header;
+  std::size_t pos = 0;
+  {
+    std::size_t eol = csv.find('\n');
+    header = csv.substr(0, eol == std::string_view::npos ? csv.size() : eol);
+    pos = eol == std::string_view::npos ? csv.size() : eol + 1;
+  }
+  std::vector<std::string> records;
+  while (pos < csv.size()) {
+    std::size_t eol = csv.find('\n', pos);
+    if (eol == std::string_view::npos) eol = csv.size();
+    if (eol > pos) records.emplace_back(csv.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  stats.records_in += records.size();
+
+  // Stage 1 — per-record faults. Burst windows replicate the record
+  // floor(multiplier)x; every emitted copy then rolls truncation (cut to a
+  // non-empty prefix, so the mangled record still reaches the reader as one
+  // offered row) and corruption (one byte flipped, never to itself).
+  std::vector<std::string> mangled;
+  mangled.reserve(records.size());
+  for (const auto& rec : records) {
+    const double ts = std::strtod(rec.c_str(), nullptr);  // lenient: chaos only
+    auto copies = static_cast<std::uint64_t>(inj.burst_multiplier_at(ts));
+    if (copies < 1) copies = 1;
+    stats.burst_copies += copies - 1;
+    for (std::uint64_t c = 0; c < copies; ++c) {
+      std::string r = rec;
+      if (r.size() >= 2 && inj.truncate_record()) {
+        r.resize(1 + inj.chaos_value() % (r.size() - 1));
+        ++stats.truncated;
+      }
+      if (!r.empty() && inj.corrupt_record()) {
+        const std::size_t at = inj.chaos_value() % r.size();
+        const auto flip = static_cast<char>(1 + inj.chaos_value() % 255);  // never 0
+        char garbled = static_cast<char>(r[at] ^ flip);
+        // Never inject a record separator: a '\n' would split one offered
+        // row into two and break the chaos.records_out == ingest.offered
+        // chain identity the conservation audit relies on.
+        if (garbled == '\n' || garbled == '\r') {
+          garbled = r[at] == '#' ? '$' : '#';
+        }
+        r[at] = garbled;
+        ++stats.corrupted;
+      }
+      mangled.push_back(std::move(r));
+    }
+  }
+
+  // Stage 2 — batch faults over fixed-size record groups: adjacent swaps
+  // (out-of-order delivery) then duplication (replayed delivery).
+  std::vector<std::vector<std::string>> batches;
+  for (std::size_t i = 0; i < mangled.size(); i += batch_records) {
+    const std::size_t end = std::min(mangled.size(), i + batch_records);
+    batches.emplace_back(std::make_move_iterator(mangled.begin() + static_cast<std::ptrdiff_t>(i)),
+                         std::make_move_iterator(mangled.begin() + static_cast<std::ptrdiff_t>(end)));
+  }
+  stats.batches += batches.size();
+  for (std::size_t i = 0; i + 1 < batches.size(); ++i) {
+    if (inj.reorder_batch()) {
+      std::swap(batches[i], batches[i + 1]);
+      ++stats.batches_reordered;
+      ++i;  // a swapped pair is settled; don't re-roll its second half
+    }
+  }
+
+  std::string out;
+  out.reserve(csv.size() + csv.size() / 4);
+  out.append(header);
+  out.push_back('\n');
+  const auto emit = [&](const std::vector<std::string>& batch) {
+    for (const auto& r : batch) {
+      out.append(r);
+      out.push_back('\n');
+      ++stats.records_out;
+    }
+  };
+  for (const auto& batch : batches) {
+    emit(batch);
+    if (inj.duplicate_batch()) {
+      emit(batch);
+      ++stats.batches_duplicated;
+    }
+  }
+  return out;
+}
+
+}  // namespace iguard::io

@@ -1,0 +1,45 @@
+// Ingest-domain chaos (DESIGN.md §4g): deterministic mangling of serialized
+// trace records *before* they reach the TraceReader, driven by the same
+// seeded FaultInjector that runs the control-plane fault programme — each
+// ingest fault draws from its own independent stream, so enabling record
+// corruption never perturbs digest-loss decisions (or vice versa).
+//
+// The mangler operates on the CSV wire form: records are lines, batches are
+// fixed-size groups of lines. Faults model what a real collection path does
+// to a feed: truncated writes (record cut mid-field), bit rot (one byte
+// flipped), replayed batches (duplicated), out-of-order delivery (adjacent
+// batches swapped), and offered-load bursts (records replicated inside
+// FaultConfig burst windows). The header line is exempt — chaos attacks the
+// records, not the container.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "switchsim/faults.hpp"
+
+namespace iguard::io {
+
+struct ChaosStats {
+  std::uint64_t records_in = 0;
+  std::uint64_t records_out = 0;  // after bursts/duplication/truncation-to-empty
+  std::uint64_t truncated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t burst_copies = 0;  // extra records injected by burst windows
+  std::uint64_t batches = 0;
+  std::uint64_t batches_duplicated = 0;
+  std::uint64_t batches_reordered = 0;
+
+  bool operator==(const ChaosStats&) const = default;
+};
+
+/// Apply `faults`' ingest-domain programme to a CSV trace byte stream and
+/// return the mangled stream. Deterministic: a pure function of
+/// (csv, faults.seed, batch_records). With every ingest fault off the
+/// output is the input, byte for byte.
+std::string mangle_csv(std::string_view csv, const switchsim::FaultConfig& faults,
+                       std::size_t batch_records, ChaosStats& stats);
+
+}  // namespace iguard::io

@@ -1,0 +1,169 @@
+#include "io/overload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "io/spsc_ring.hpp"
+#include "switchsim/faults.hpp"
+
+namespace iguard::io {
+
+std::string_view shed_policy_name(ShedPolicy p) {
+  switch (p) {
+    case ShedPolicy::kDropNewest: return "drop_newest";
+    case ShedPolicy::kDropOldest: return "drop_oldest";
+    case ShedPolicy::kFlowHash: return "flow_hash";
+  }
+  return "unknown";
+}
+
+std::string validate_config(const OverloadConfig& cfg) {
+  if (cfg.queue_capacity == 0) return "queue_capacity: must be >= 1 (got 0)";
+  if (std::isnan(cfg.drain_rate_pps) || std::isinf(cfg.drain_rate_pps) ||
+      cfg.drain_rate_pps < 0.0) {
+    return "drain_rate_pps: must be finite and >= 0 (got " +
+           std::to_string(cfg.drain_rate_pps) + ")";
+  }
+  if (std::isnan(cfg.flow_shed_fraction) || cfg.flow_shed_fraction < 0.0 ||
+      cfg.flow_shed_fraction > 1.0) {
+    return "flow_shed_fraction: must be in [0, 1] (got " +
+           std::to_string(cfg.flow_shed_fraction) + ")";
+  }
+  return {};
+}
+
+OverloadGate::OverloadGate(const OverloadConfig& cfg) : cfg_(cfg) {
+  if (const std::string err = validate_config(cfg_); !err.empty()) {
+    const std::size_t colon = err.find(':');
+    throw switchsim::ConfigError("OverloadConfig", err.substr(0, colon),
+                                 colon == std::string::npos ? err : err.substr(colon + 2));
+  }
+}
+
+bool OverloadGate::flow_in_shed_set(const traffic::FiveTuple& ft) const {
+  if (cfg_.flow_shed_fraction <= 0.0) return false;
+  if (cfg_.flow_shed_fraction >= 1.0) return true;
+  return static_cast<double>(traffic::bihash(ft, cfg_.seed)) <
+         cfg_.flow_shed_fraction *
+             static_cast<double>(std::numeric_limits<std::uint64_t>::max());
+}
+
+void OverloadGate::drain_to(double ts_s, std::vector<traffic::Packet>& out) {
+  const double elapsed = std::max(0.0, ts_s - t0_);
+  const auto tokens = static_cast<std::uint64_t>(elapsed * cfg_.drain_rate_pps);
+  while (drained_ < tokens && head_ < queue_.size()) {
+    out.push_back(queue_[head_++]);
+    ++drained_;
+    ++stats_.admitted;
+  }
+  if (head_ == queue_.size()) {
+    queue_.clear();
+    head_ = 0;
+    // Idle server forfeits unserved tokens: an empty queue must not bank
+    // drain capacity for a later burst, or the rate limit would be elastic.
+    drained_ = std::max(drained_, tokens);
+  } else if (head_ > 4096 && head_ * 2 > queue_.size()) {
+    queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+}
+
+void OverloadGate::offer(const traffic::Packet& p, std::vector<traffic::Packet>& out) {
+  ++stats_.offered;
+  if (!cfg_.enabled || cfg_.drain_rate_pps == 0.0) {
+    ++stats_.admitted;
+    out.push_back(p);
+    return;
+  }
+  if (!clock_started_) {
+    clock_started_ = true;
+    t0_ = p.ts;
+  }
+  drain_to(p.ts, out);
+
+  const std::size_t queued = queue_.size() - head_;
+  if (queued < cfg_.queue_capacity) {
+    queue_.push_back(p);
+    stats_.queue_hwm = std::max(stats_.queue_hwm, queued + 1);
+    return;
+  }
+  switch (cfg_.policy) {
+    case ShedPolicy::kDropNewest:
+      ++stats_.shed;
+      ++stats_.shed_newest;
+      return;
+    case ShedPolicy::kDropOldest:
+      ++head_;
+      ++stats_.shed;
+      ++stats_.shed_oldest;
+      queue_.push_back(p);
+      return;
+    case ShedPolicy::kFlowHash:
+      if (flow_in_shed_set(p.ft)) {
+        ++stats_.shed;
+        ++stats_.shed_flow_hash;
+        return;
+      }
+      ++head_;
+      ++stats_.shed;
+      ++stats_.shed_oldest;
+      queue_.push_back(p);
+      return;
+  }
+}
+
+void OverloadGate::flush(std::vector<traffic::Packet>& out) {
+  while (head_ < queue_.size()) {
+    out.push_back(queue_[head_++]);
+    ++stats_.admitted;
+  }
+  queue_.clear();
+  head_ = 0;
+}
+
+ShedResult shed_overload(const traffic::Trace& trace, const OverloadConfig& cfg) {
+  OverloadGate gate(cfg);
+  ShedResult r;
+  r.admitted.packets.reserve(trace.size());
+  for (const auto& p : trace.packets) gate.offer(p, r.admitted.packets);
+  gate.flush(r.admitted.packets);
+  r.stats = gate.stats();
+  return r;
+}
+
+traffic::Trace pump_through_ring(const traffic::Trace& trace, std::size_t ring_capacity,
+                                 RingPumpStats& stats) {
+  SpscRing<traffic::Packet> ring(ring_capacity);
+  traffic::Trace out;
+  out.packets.reserve(trace.size());
+
+  std::uint64_t push_retries = 0;
+  std::thread producer([&] {
+    for (const auto& p : trace.packets) {
+      while (!ring.try_push(p)) {
+        ++push_retries;  // backpressure: spin, never drop
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  traffic::Packet p;
+  while (out.packets.size() < trace.size()) {
+    if (ring.try_pop(p)) {
+      out.packets.push_back(p);
+    } else {
+      ++stats.pop_retries;
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+
+  stats.pushed += trace.size();
+  stats.popped += out.packets.size();
+  stats.push_retries += push_retries;
+  return out;
+}
+
+}  // namespace iguard::io

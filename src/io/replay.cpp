@@ -1,0 +1,141 @@
+#include "io/replay.hpp"
+
+#include <utility>
+
+namespace iguard::io {
+
+namespace {
+
+struct ChainOut {
+  IngestResult ing;
+  OverloadStats ov;
+  ChaosStats chaos;
+  bool chaos_applied = false;
+  traffic::Trace admitted;
+};
+
+ChainOut run_chain_bytes(std::string_view bytes, const IngestReplayConfig& icfg) {
+  ChainOut c;
+  std::string mangled;
+  std::string_view feed = bytes;
+  c.chaos_applied = icfg.chaos.ingest_any_enabled();
+  if (c.chaos_applied) {
+    // The mangler is CSV-domain: record = line. Pcap chaos would need its
+    // own framing-aware mangler; the fuzz targets cover pcap damage instead.
+    mangled = mangle_csv(bytes, icfg.chaos, icfg.chaos_batch_records, c.chaos);
+    feed = mangled;
+  }
+  const TraceReader reader(icfg.reader);
+  c.ing = reader.read_buffer(feed);
+  ShedResult shed = shed_overload(c.ing.trace, icfg.overload);
+  c.ov = shed.stats;
+  c.admitted = std::move(shed.admitted);
+  return c;
+}
+
+ChainOut run_chain_trace(const traffic::Trace& trace, const IngestReplayConfig& icfg) {
+  if (icfg.chaos.ingest_any_enabled()) {
+    return run_chain_bytes(trace_to_csv(trace), icfg);
+  }
+  ChainOut c;
+  c.ing = ingest_trace(trace, icfg.reader);
+  ShedResult shed = shed_overload(c.ing.trace, icfg.overload);
+  c.ov = shed.stats;
+  c.admitted = std::move(shed.admitted);
+  return c;
+}
+
+template <typename Result>
+void move_chain(ChainOut& c, Result& r) {
+  r.ingest = c.ing.stats;
+  r.quarantine = std::move(c.ing.quarantine);
+  r.container_ok = c.ing.container_ok;
+  r.container_error = std::move(c.ing.container_error);
+  r.overload = c.ov;
+  r.chaos = c.chaos;
+  r.chaos_applied = c.chaos_applied;
+}
+
+template <typename Result>
+std::string audit_chain(const Result& r, std::uint64_t replayed) {
+  if (!r.ingest.conserved()) {
+    return "ingest: offered " + std::to_string(r.ingest.offered) + " != accepted " +
+           std::to_string(r.ingest.accepted) + " + quarantined " +
+           std::to_string(r.ingest.quarantined);
+  }
+  if (!r.overload.conserved()) {
+    return "overload: offered " + std::to_string(r.overload.offered) + " != admitted " +
+           std::to_string(r.overload.admitted) + " + shed " + std::to_string(r.overload.shed);
+  }
+  if (r.overload.offered != r.ingest.accepted) {
+    return "chain: overload.offered " + std::to_string(r.overload.offered) +
+           " != ingest.accepted " + std::to_string(r.ingest.accepted);
+  }
+  if (replayed != r.overload.admitted) {
+    return "chain: replayed packets " + std::to_string(replayed) + " != overload.admitted " +
+           std::to_string(r.overload.admitted);
+  }
+  if (r.chaos_applied && r.chaos.records_out != r.ingest.offered) {
+    return "chain: chaos.records_out " + std::to_string(r.chaos.records_out) +
+           " != ingest.offered " + std::to_string(r.ingest.offered);
+  }
+  return {};
+}
+
+}  // namespace
+
+IngestReplayResult ingest_replay_sharded(std::string_view trace_bytes,
+                                         const IngestReplayConfig& icfg,
+                                         const switchsim::PipelineConfig& cfg,
+                                         const switchsim::DeployedModel& model,
+                                         const switchsim::ReplayConfig& rcfg) {
+  ChainOut c = run_chain_bytes(trace_bytes, icfg);
+  IngestReplayResult r;
+  r.replay = switchsim::replay_sharded(c.admitted, cfg, model, rcfg);
+  move_chain(c, r);
+  return r;
+}
+
+IngestReplayResult ingest_replay_sharded(const traffic::Trace& trace,
+                                         const IngestReplayConfig& icfg,
+                                         const switchsim::PipelineConfig& cfg,
+                                         const switchsim::DeployedModel& model,
+                                         const switchsim::ReplayConfig& rcfg) {
+  ChainOut c = run_chain_trace(trace, icfg);
+  IngestReplayResult r;
+  r.replay = switchsim::replay_sharded(c.admitted, cfg, model, rcfg);
+  move_chain(c, r);
+  return r;
+}
+
+IngestFleetResult ingest_replay_fleet(const traffic::Trace& trace,
+                                      const IngestReplayConfig& icfg,
+                                      const switchsim::PipelineConfig& cfg,
+                                      const switchsim::DeployedModel& model,
+                                      const switchsim::FleetConfig& fcfg) {
+  ChainOut c = run_chain_trace(trace, icfg);
+  IngestFleetResult r;
+  r.fleet = switchsim::replay_fleet(c.admitted, cfg, model, fcfg);
+  move_chain(c, r);
+  return r;
+}
+
+std::string audit_ingest_conservation(const IngestReplayResult& r) {
+  if (std::string err = audit_chain(r, r.replay.stats.packets); !err.empty()) return err;
+  if (std::string err = switchsim::audit_sim_conservation(r.replay.stats); !err.empty()) {
+    return "replay: " + err;
+  }
+  return {};
+}
+
+std::string audit_ingest_conservation(const IngestFleetResult& r) {
+  if (std::string err = audit_chain(r, r.fleet.stats.packets); !err.empty()) return err;
+  if (std::string err =
+          switchsim::audit_fleet_conservation(r.fleet, r.overload.admitted);
+      !err.empty()) {
+    return "fleet: " + err;
+  }
+  return {};
+}
+
+}  // namespace iguard::io

@@ -1,0 +1,90 @@
+// Hardened replay entry points: the composition every packet source is
+// meant to flow through (DESIGN.md §4g) —
+//
+//   bytes -> [chaos mangler] -> TraceReader -> OverloadGate -> replay_sharded
+//
+// with one conservation audit spanning the whole chain: every offered
+// record is accounted for exactly once as admitted-and-replayed, shed, or
+// quarantined. With chaos and overload off, the hardened path is
+// byte-identical to the plain replay of the same trace — the parity gate
+// bench_ingest and scripts/check.sh --ingest-smoke enforce.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "io/chaos.hpp"
+#include "io/ingest.hpp"
+#include "io/overload.hpp"
+#include "switchsim/fleet.hpp"
+#include "switchsim/replay.hpp"
+
+namespace iguard::io {
+
+struct IngestReplayConfig {
+  TraceReaderConfig reader;
+  OverloadConfig overload;
+  /// Ingest-domain fault programme (record/batch/burst fields; the
+  /// control-plane fields ride along untouched into the pipeline's own
+  /// config, not here). Applied to the serialized CSV before the reader.
+  switchsim::FaultConfig chaos;
+  std::size_t chaos_batch_records = 64;
+};
+
+struct IngestReplayResult {
+  IngestStats ingest;
+  QuarantineRing quarantine;
+  bool container_ok = true;
+  std::string container_error;
+  OverloadStats overload;
+  ChaosStats chaos;
+  bool chaos_applied = false;  // true when the mangler actually ran
+  switchsim::ShardedReplayResult replay;
+};
+
+/// Untrusted-bytes entry: mangle (if chaos enabled), read, shed, replay.
+IngestReplayResult ingest_replay_sharded(std::string_view trace_bytes,
+                                         const IngestReplayConfig& icfg,
+                                         const switchsim::PipelineConfig& cfg,
+                                         const switchsim::DeployedModel& model,
+                                         const switchsim::ReplayConfig& rcfg = {});
+
+/// In-memory entry: with chaos enabled the trace is serialized to CSV so
+/// the mangler attacks real bytes; otherwise the trace goes through the
+/// validation boundary (ingest_trace) directly — which leaves a valid,
+/// time-sorted trace untouched, preserving byte-identity with the plain
+/// replay.
+IngestReplayResult ingest_replay_sharded(const traffic::Trace& trace,
+                                         const IngestReplayConfig& icfg,
+                                         const switchsim::PipelineConfig& cfg,
+                                         const switchsim::DeployedModel& model,
+                                         const switchsim::ReplayConfig& rcfg = {});
+
+/// Fleet-scale variant: same ingest chain in front of replay_fleet.
+struct IngestFleetResult {
+  IngestStats ingest;
+  QuarantineRing quarantine;
+  bool container_ok = true;
+  std::string container_error;
+  OverloadStats overload;
+  ChaosStats chaos;
+  bool chaos_applied = false;
+  switchsim::FleetResult fleet;
+};
+IngestFleetResult ingest_replay_fleet(const traffic::Trace& trace,
+                                      const IngestReplayConfig& icfg,
+                                      const switchsim::PipelineConfig& cfg,
+                                      const switchsim::DeployedModel& model,
+                                      const switchsim::FleetConfig& fcfg = {});
+
+/// Whole-chain conservation audit. Empty string = every identity holds:
+///   ingest.conserved()                          (offered == accepted + quarantined)
+///   overload.conserved()                        (offered == admitted + shed)
+///   overload.offered == ingest.accepted         (nothing lost between stages)
+///   replayed packets  == overload.admitted      (pipeline saw every admit)
+///   chaos records_out == ingest.offered         (when the mangler ran)
+/// plus switchsim::audit_sim_conservation on the replay stats.
+std::string audit_ingest_conservation(const IngestReplayResult& r);
+std::string audit_ingest_conservation(const IngestFleetResult& r);
+
+}  // namespace iguard::io

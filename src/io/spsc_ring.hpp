@@ -1,0 +1,72 @@
+// Lock-free bounded single-producer/single-consumer ring (DESIGN.md §4g):
+// the hand-off queue between the ingest reader thread and a sharded replay
+// pipeline. Capacity is rounded up to a power of two so index wrapping is a
+// mask; producer and consumer cursors live on separate cache lines so the
+// two threads never false-share. try_push/try_pop never block — overload
+// policy (shed vs. spin) is the caller's decision, with its own accounting
+// (io/overload.hpp), not the queue's.
+//
+// Memory ordering is the classic SPSC pairing: each side reads its own
+// cursor relaxed (it is the only writer of it), reads the opposite cursor
+// acquire, and publishes its own cursor release after touching the slot.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace iguard::io {
+
+/// Round up to the next power of two (minimum 2, so the ring always holds
+/// at least one element behind the full/empty distinction).
+inline std::size_t ring_capacity_for(std::size_t requested) {
+  std::size_t c = 2;
+  while (c < requested) c <<= 1;
+  return c;
+}
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is a lower bound; the ring allocates the next power of two.
+  /// All storage is allocated here — push/pop never allocate.
+  explicit SpscRing(std::size_t capacity)
+      : buf_(ring_capacity_for(capacity)), mask_(buf_.size() - 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side only. False = full (caller sheds or retries).
+  bool try_push(T v) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) == buf_.size()) return false;
+    buf_[t & mask_] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side only. False = empty.
+  bool try_pop(T& out) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == h) return false;
+    out = std::move(buf_[h & mask_]);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t capacity() const { return buf_.size(); }
+
+  /// Racy size estimate — exact only when both sides are quiescent.
+  std::size_t size_approx() const {
+    return tail_.load(std::memory_order_acquire) - head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer cursor
+};
+
+}  // namespace iguard::io

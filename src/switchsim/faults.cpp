@@ -1,13 +1,78 @@
 #include "switchsim/faults.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace iguard::switchsim {
+
+namespace {
+
+/// Shared field checks: every validator reports through the same
+/// "field: problem (got value)" shape so messages stay greppable.
+std::string check_rate(const char* field, double v) {
+  if (std::isnan(v) || v < 0.0 || v > 1.0) {
+    return std::string(field) + ": probability must be in [0, 1] (got " + std::to_string(v) +
+           ")";
+  }
+  return {};
+}
+
+std::string check_nonneg(const char* field, double v) {
+  if (std::isnan(v) || std::isinf(v) || v < 0.0) {
+    return std::string(field) + ": must be finite and >= 0 (got " + std::to_string(v) + ")";
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string validate_config(const FaultConfig& cfg) {
+  std::string err;
+  if (!(err = check_rate("digest_loss_rate", cfg.digest_loss_rate)).empty()) return err;
+  if (!(err = check_rate("digest_delay_rate", cfg.digest_delay_rate)).empty()) return err;
+  if (!(err = check_nonneg("digest_delay_s", cfg.digest_delay_s)).empty()) return err;
+  if (!(err = check_rate("install_failure_rate", cfg.install_failure_rate)).empty()) return err;
+  if (!(err = check_rate("record_truncate_rate", cfg.record_truncate_rate)).empty()) return err;
+  if (!(err = check_rate("record_corrupt_rate", cfg.record_corrupt_rate)).empty()) return err;
+  if (!(err = check_rate("batch_duplicate_rate", cfg.batch_duplicate_rate)).empty()) return err;
+  if (!(err = check_rate("batch_reorder_rate", cfg.batch_reorder_rate)).empty()) return err;
+  for (const auto& w : cfg.crashes) {
+    if (!(err = check_nonneg("crashes.start_s", w.start_s)).empty()) return err;
+    if (!(err = check_nonneg("crashes.duration_s", w.duration_s)).empty()) return err;
+  }
+  for (const auto& w : cfg.bursts) {
+    if (!(err = check_nonneg("bursts.start_s", w.start_s)).empty()) return err;
+    if (!(err = check_nonneg("bursts.duration_s", w.duration_s)).empty()) return err;
+    if (std::isnan(w.multiplier) || std::isinf(w.multiplier)) {
+      return "bursts.multiplier: must be finite (got " + std::to_string(w.multiplier) + ")";
+    }
+  }
+  return {};
+}
+
+std::string validate_config(const ControlPlaneConfig& cfg) {
+  std::string err;
+  if (!(err = check_nonneg("control_latency_s", cfg.control_latency_s)).empty()) return err;
+  if (!(err = check_nonneg("retry_backoff_s", cfg.retry_backoff_s)).empty()) return err;
+  if (!(err = check_nonneg("retry_backoff_cap_s", cfg.retry_backoff_cap_s)).empty()) return err;
+  if (cfg.retry_backoff_cap_s < cfg.retry_backoff_s) {
+    return "retry_backoff_cap_s: must be >= retry_backoff_s (got " +
+           std::to_string(cfg.retry_backoff_cap_s) + " < " +
+           std::to_string(cfg.retry_backoff_s) + ")";
+  }
+  if (!(err = validate_config(cfg.faults)).empty()) return "faults." + err;
+  return {};
+}
 
 Controller::Controller(BlacklistTable& blacklist, ControlPlaneConfig cfg,
                        const FlowStore* store, obs::Registry* metrics,
                        std::string_view metrics_prefix)
     : blacklist_(&blacklist), cfg_(std::move(cfg)), store_(store), injector_(cfg_.faults) {
+  if (const std::string err = validate_config(cfg_); !err.empty()) {
+    const std::size_t colon = err.find(':');
+    throw ConfigError("ControlPlaneConfig", err.substr(0, colon),
+                      colon == std::string::npos ? err : err.substr(colon + 2));
+  }
   std::sort(cfg_.faults.crashes.begin(), cfg_.faults.crashes.end(),
             [](const CrashWindow& a, const CrashWindow& b) { return a.start_s < b.start_s; });
   // Re-seat the injector on the sorted window list so down_at's early-exit

@@ -18,11 +18,14 @@
 // packets after i, and the event clock preserves exactly that order.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <queue>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -94,6 +97,18 @@ struct CrashWindow {
   double end_s() const { return start_s + duration_s; }
 };
 
+/// One offered-load burst at the ingest boundary: while ts is inside
+/// [start_s, start_s + duration_s) every offered record is replicated up to
+/// `multiplier`x (io/chaos.hpp applies it before the overload gate, so
+/// bursts are what trip the shed policies in bench_ingest).
+struct BurstWindow {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double multiplier = 2.0;  // offered-load scale inside the window, >= 1
+
+  double end_s() const { return start_s + duration_s; }
+};
+
 /// Deterministic fault programme. Everything is off by default; a
 /// default-constructed config is the perfect-channel model.
 struct FaultConfig {
@@ -104,11 +119,53 @@ struct FaultConfig {
   double install_failure_rate = 0.0; // P(one install attempt fails)
   std::vector<CrashWindow> crashes;  // must be sorted by start_s
 
+  // Ingest-domain faults (DESIGN.md §4g): applied by io/chaos.hpp to
+  // serialized records and record batches *before* the TraceReader, each
+  // from its own independent stream. The control-plane programme above is
+  // untouched by enabling any of these.
+  double record_truncate_rate = 0.0;  // P(record cut short mid-field)
+  double record_corrupt_rate = 0.0;   // P(one byte of the record flipped)
+  double batch_duplicate_rate = 0.0;  // P(a record batch replayed twice)
+  double batch_reorder_rate = 0.0;    // P(a batch swapped with its successor)
+  std::vector<BurstWindow> bursts;    // offered-load multiplier windows
+
+  /// Control-plane faults only (the lockstep-equivalence switch).
   bool any_enabled() const {
     return digest_loss_rate > 0.0 || digest_delay_rate > 0.0 ||
            install_failure_rate > 0.0 || !crashes.empty();
   }
+
+  /// Ingest-domain faults only (the hardened-boundary chaos switch).
+  bool ingest_any_enabled() const {
+    return record_truncate_rate > 0.0 || record_corrupt_rate > 0.0 ||
+           batch_duplicate_rate > 0.0 || batch_reorder_rate > 0.0 || !bursts.empty();
+  }
 };
+
+/// Structured configuration error: the offending struct + field, preserved
+/// so callers (and tests) can assert on *which* invariant was violated
+/// instead of pattern-matching a message.
+class ConfigError : public std::invalid_argument {
+ public:
+  ConfigError(std::string structure, std::string field, const std::string& message)
+      : std::invalid_argument(structure + "." + field + ": " + message),
+        structure_(std::move(structure)),
+        field_(std::move(field)) {}
+
+  const std::string& structure() const { return structure_; }
+  const std::string& field() const { return field_; }
+
+ private:
+  std::string structure_;
+  std::string field_;
+};
+
+/// Empty string when `cfg` is well-formed, otherwise "field: problem" for
+/// the first violated invariant (NaN/negative rates, negative latencies or
+/// capacities, inverted backoff, malformed windows). Controller's
+/// constructor throws ConfigError on a non-empty result, so a bad config
+/// fails loudly at construction instead of silently misbehaving mid-replay.
+std::string validate_config(const FaultConfig& cfg);
 
 /// Seeded source of fault decisions, bit-identical across runs for a given
 /// (seed, call sequence). Streams are independent per decision type.
@@ -120,7 +177,12 @@ class FaultInjector {
         delay_(cfg.seed ^ 0x0DE1A7EDull),
         install_(cfg.seed ^ 0x1357A11Full),
         mirror_drop_(cfg.seed ^ 0x3AB1E0F5ull),
-        mirror_delay_(cfg.seed ^ 0x7E1A9D02ull) {}
+        mirror_delay_(cfg.seed ^ 0x7E1A9D02ull),
+        truncate_(cfg.seed ^ 0x7C4A7E01ull),
+        corrupt_(cfg.seed ^ 0xC0228477ull),
+        batch_dup_(cfg.seed ^ 0xD4B11CA7ull),
+        batch_reorder_(cfg.seed ^ 0x2E02DE25ull),
+        chaos_value_(cfg.seed ^ 0x1A9E57EDull) {}
 
   bool drop_digest() { return drop_.chance(cfg_.digest_loss_rate); }
   bool delay_digest() { return delay_.chance(cfg_.digest_delay_rate); }
@@ -130,6 +192,27 @@ class FaultInjector {
   /// the digest fault sequence of an existing workload.
   bool drop_mirror() { return mirror_drop_.chance(cfg_.digest_loss_rate); }
   bool delay_mirror() { return mirror_delay_.chance(cfg_.digest_delay_rate); }
+
+  // Ingest-domain decisions (io/chaos.hpp), one independent stream each so
+  // enabling any ingest fault never perturbs the control-plane sequences.
+  bool truncate_record() { return truncate_.chance(cfg_.record_truncate_rate); }
+  bool corrupt_record() { return corrupt_.chance(cfg_.record_corrupt_rate); }
+  bool duplicate_batch() { return batch_dup_.chance(cfg_.batch_duplicate_rate); }
+  bool reorder_batch() { return batch_reorder_.chance(cfg_.batch_reorder_rate); }
+  /// Raw value draws for the ingest mangler (cut positions, flipped bytes);
+  /// a dedicated stream so position choices never consume decision draws.
+  std::uint64_t chaos_value() { return chaos_value_.next(); }
+
+  /// Offered-load multiplier at ts: the product of every burst window
+  /// containing ts (1.0 outside every window). Multipliers below 1 are
+  /// treated as 1 — bursts only ever amplify.
+  double burst_multiplier_at(double ts_s) const {
+    double m = 1.0;
+    for (const auto& w : cfg_.bursts) {
+      if (ts_s >= w.start_s && ts_s < w.end_s()) m *= std::max(w.multiplier, 1.0);
+    }
+    return m;
+  }
 
   /// True while ts falls inside any configured crash window.
   bool down_at(double ts_s) const {
@@ -156,6 +239,7 @@ class FaultInjector {
   FaultConfig cfg_;
   SplitMix64 drop_, delay_, install_;
   SplitMix64 mirror_drop_, mirror_delay_;
+  SplitMix64 truncate_, corrupt_, batch_dup_, batch_reorder_, chaos_value_;
 };
 
 /// One digest as it entered the control channel, stamped with the
@@ -186,6 +270,10 @@ struct ControlPlaneConfig {
   std::vector<TimedDigest>* digest_tap = nullptr;
   FaultConfig faults;
 };
+
+/// Empty string when well-formed, otherwise the first violated invariant.
+/// Checked (throwing ConfigError) by Controller's constructor.
+std::string validate_config(const ControlPlaneConfig& cfg);
 
 /// Degradation accounting for one run. Channel-side counters live in the
 /// controller; leaked_packets is counted by the pipeline (it is the data

@@ -1,6 +1,7 @@
 #include "switchsim/fleet.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <utility>
 
@@ -21,7 +22,71 @@ constexpr std::uint64_t kCrashSalt = 0xC2A5B0A7D5ull;
 constexpr std::uint64_t kLocalFaultSalt = 0x10CA1F4017ull;
 constexpr std::uint64_t kInstallSalt = 0x1257A11F47ull;
 
+std::string check_rate(const char* field, double v) {
+  if (std::isnan(v) || v < 0.0 || v > 1.0) {
+    return std::string(field) + ": probability must be in [0, 1] (got " + std::to_string(v) +
+           ")";
+  }
+  return {};
+}
+
+std::string check_nonneg(const char* field, double v) {
+  if (std::isnan(v) || std::isinf(v) || v < 0.0) {
+    return std::string(field) + ": must be finite and >= 0 (got " + std::to_string(v) + ")";
+  }
+  return {};
+}
+
+[[noreturn]] void throw_config(const char* structure, const std::string& err) {
+  const std::size_t colon = err.find(':');
+  throw ConfigError(structure, err.substr(0, colon),
+                    colon == std::string::npos ? err : err.substr(colon + 2));
+}
+
 }  // namespace
+
+std::string validate_config(const FleetFaultConfig& cfg) {
+  std::string err;
+  if (!(err = check_rate("digest_loss_rate", cfg.digest_loss_rate)).empty()) return err;
+  if (!(err = check_rate("digest_delay_rate", cfg.digest_delay_rate)).empty()) return err;
+  if (!(err = check_nonneg("digest_delay_s", cfg.digest_delay_s)).empty()) return err;
+  if (!(err = check_rate("install_failure_rate", cfg.install_failure_rate)).empty()) return err;
+  if (!(err = check_rate("crash_rate", cfg.crash_rate)).empty()) return err;
+  if (!(err = check_nonneg("crash_duration_s", cfg.crash_duration_s)).empty()) return err;
+  if (!(err = check_rate("partition_rate", cfg.partition_rate)).empty()) return err;
+  if (!(err = check_nonneg("partition_duration_s", cfg.partition_duration_s)).empty())
+    return err;
+  if (std::isnan(cfg.check_interval_s) || cfg.check_interval_s <= 0.0) {
+    return "check_interval_s: must be > 0 (got " + std::to_string(cfg.check_interval_s) + ")";
+  }
+  return {};
+}
+
+std::string validate_config(const FleetControllerConfig& cfg) {
+  std::string err;
+  if (cfg.batch_size == 0) return "batch_size: must be >= 1 (got 0)";
+  if (!(err = check_nonneg("batch_interval_s", cfg.batch_interval_s)).empty()) return err;
+  if (!(err = check_nonneg("install_latency_s", cfg.install_latency_s)).empty()) return err;
+  if (!(err = check_rate("install_failure_rate", cfg.install_failure_rate)).empty()) return err;
+  if (!(err = check_nonneg("retry_backoff_s", cfg.retry_backoff_s)).empty()) return err;
+  if (!(err = check_nonneg("retry_backoff_cap_s", cfg.retry_backoff_cap_s)).empty())
+    return err;
+  if (cfg.retry_backoff_cap_s < cfg.retry_backoff_s) {
+    return "retry_backoff_cap_s: must be >= retry_backoff_s (got " +
+           std::to_string(cfg.retry_backoff_cap_s) + " < " +
+           std::to_string(cfg.retry_backoff_s) + ")";
+  }
+  return {};
+}
+
+std::string validate_config(const FleetConfig& cfg) {
+  if (cfg.devices == 0) return "devices: must be >= 1 (got 0)";
+  std::string err;
+  if (!(err = validate_config(cfg.replay)).empty()) return "replay." + err;
+  if (!(err = validate_config(cfg.faults)).empty()) return "faults." + err;
+  if (!(err = validate_config(cfg.control)).empty()) return "control." + err;
+  return {};
+}
 
 std::vector<LinkWindow> generate_fault_windows(std::uint64_t seed, double rate,
                                                double duration_s, double check_interval_s,
@@ -76,6 +141,9 @@ double DarkSchedule::up_after(double ts_s) const {
 FleetController::FleetController(FleetControllerConfig cfg, std::vector<FailureDomain> domains,
                                  obs::Registry* metrics, std::string_view metrics_prefix)
     : cfg_(cfg) {
+  if (const std::string err = validate_config(cfg_); !err.empty()) {
+    throw_config("FleetControllerConfig", err);
+  }
   if (domains.empty()) domains.emplace_back();
   dev_.resize(domains.size());
   for (std::size_t d = 0; d < dev_.size(); ++d) {
@@ -349,7 +417,10 @@ std::vector<traffic::Trace> partition_by_tenant(const traffic::Trace& trace,
 
 FleetResult replay_fleet(const traffic::Trace& trace, const PipelineConfig& cfg,
                          const DeployedModel& model, const FleetConfig& fcfg) {
-  const std::size_t n = std::max<std::size_t>(fcfg.devices, 1);
+  if (const std::string err = validate_config(fcfg); !err.empty()) {
+    throw_config("FleetConfig", err);
+  }
+  const std::size_t n = fcfg.devices;
   const bool faults_on = fcfg.faults.any_enabled();
 
   // --- tenant partition (phase 0) ---

@@ -161,6 +161,14 @@ struct FleetConfig {
   FleetControllerConfig control{};
 };
 
+/// Empty string when well-formed, otherwise the first violated invariant
+/// (zero devices, NaN/out-of-range rates, negative durations/latencies,
+/// inverted backoff, zero batch size). Checked (throwing ConfigError) by
+/// replay_fleet and FleetController's constructor.
+std::string validate_config(const FleetFaultConfig& cfg);
+std::string validate_config(const FleetControllerConfig& cfg);
+std::string validate_config(const FleetConfig& cfg);
+
 /// Fleet-controller accounting for one device (the control-plane half of
 /// its failure domain; the data-plane half lives in its SimStats.faults).
 struct DeviceFleetStats {

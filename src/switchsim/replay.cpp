@@ -10,13 +10,31 @@
 
 namespace iguard::switchsim {
 
+std::string validate_config(const ReplayConfig& cfg) {
+  if (cfg.shards == 0) return "shards: must be >= 1 (got 0)";
+  return {};
+}
+
+namespace {
+
+void throw_if_invalid(const ReplayConfig& cfg) {
+  if (const std::string err = validate_config(cfg); !err.empty()) {
+    const std::size_t colon = err.find(':');
+    throw ConfigError("ReplayConfig", err.substr(0, colon),
+                      colon == std::string::npos ? err : err.substr(colon + 2));
+  }
+}
+
+}  // namespace
+
 std::size_t shard_of(const traffic::FiveTuple& ft, std::size_t shards, std::uint64_t seed) {
   if (shards <= 1) return 0;
   return static_cast<std::size_t>(traffic::bihash(ft, seed) % shards);
 }
 
 std::vector<traffic::Trace> shard_trace(const traffic::Trace& trace, const ReplayConfig& cfg) {
-  const std::size_t k = std::max<std::size_t>(cfg.shards, 1);
+  throw_if_invalid(cfg);
+  const std::size_t k = cfg.shards;
   std::vector<traffic::Trace> parts(k);
   for (const auto& p : trace.packets) {
     parts[shard_of(p.ft, k, cfg.shard_seed)].packets.push_back(p);
@@ -86,7 +104,8 @@ SimStats merge_stats(const std::vector<SimStats>& parts) {
 
 ShardedReplayResult replay_sharded(const traffic::Trace& trace, const PipelineConfig& cfg,
                                    const DeployedModel& model, const ReplayConfig& rcfg) {
-  const std::size_t k = std::max<std::size_t>(rcfg.shards, 1);
+  throw_if_invalid(rcfg);
+  const std::size_t k = rcfg.shards;
   std::vector<traffic::Trace> parts(k);
   std::vector<std::uint32_t> shard_of_packet;
   shard_of_packet.reserve(trace.size());

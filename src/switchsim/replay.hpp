@@ -35,6 +35,11 @@ struct ReplayConfig {
   bool capture_digests = false;
 };
 
+/// Empty string when well-formed, otherwise the first violated invariant
+/// (zero shards, zero partition seed space — shards must be >= 1). Checked
+/// (throwing ConfigError) by replay_sharded and shard_trace.
+std::string validate_config(const ReplayConfig& cfg);
+
 /// Shard owning a 5-tuple. Direction-invariant: both directions of a
 /// connection map to the same shard (bihash is order-independent).
 std::size_t shard_of(const traffic::FiveTuple& ft, std::size_t shards,

@@ -95,6 +95,48 @@ void write_pcap_file(const std::string& path, const Trace& trace) {
   write_pcap(f, trace);
 }
 
+PcapRecordStatus parse_pcap_record(std::uint32_t ts_sec, std::uint32_t ts_usec,
+                                   std::uint32_t orig_len, std::string_view frame,
+                                   Packet& out) {
+  if (ts_usec > 999999u) return PcapRecordStatus::kBadTimestamp;
+  if (frame.size() < kMinFrame) return PcapRecordStatus::kTruncated;
+
+  const auto* d = reinterpret_cast<const unsigned char*>(frame.data());
+  const std::uint16_t ethertype = static_cast<std::uint16_t>(d[12] << 8 | d[13]);
+  if (ethertype != 0x0800) return PcapRecordStatus::kNotIpv4;
+  const unsigned char ihl = d[kEthLen] & 0x0F;
+  if ((d[kEthLen] >> 4) != 4 || ihl < 5) return PcapRecordStatus::kBadIpv4Header;
+  const std::size_t l4_off = kEthLen + 4u * ihl;
+  if (frame.size() < l4_off + 4) return PcapRecordStatus::kTruncated;
+
+  Packet p;
+  p.ts = static_cast<double>(ts_sec) + static_cast<double>(ts_usec) * 1e-6;
+  p.length = static_cast<std::uint16_t>(d[kEthLen + 2] << 8 | d[kEthLen + 3]);
+  if (p.length == 0) {
+    // Fallback to the record header's original length, minus the Ethernet
+    // framing — clamped so a sub-Ethernet runt cannot underflow into a huge
+    // bogus length (the old reader wrapped here).
+    const std::uint32_t ip_len = orig_len > kEthLen ? orig_len - kEthLen : 0;
+    p.length = static_cast<std::uint16_t>(std::min<std::uint32_t>(ip_len, 0xFFFFu));
+  }
+  if (p.length == 0) return PcapRecordStatus::kBadLength;
+  p.ttl = d[kEthLen + 8];
+  p.ft.proto = d[kEthLen + 9];
+  if (p.ft.proto != kProtoTcp && p.ft.proto != kProtoUdp && p.ft.proto != kProtoIcmp) {
+    return PcapRecordStatus::kUnsupportedProto;
+  }
+  p.ft.src_ip = static_cast<std::uint32_t>(d[kEthLen + 12] << 24 | d[kEthLen + 13] << 16 |
+                                           d[kEthLen + 14] << 8 | d[kEthLen + 15]);
+  p.ft.dst_ip = static_cast<std::uint32_t>(d[kEthLen + 16] << 24 | d[kEthLen + 17] << 16 |
+                                           d[kEthLen + 18] << 8 | d[kEthLen + 19]);
+  if (p.ft.proto == kProtoTcp || p.ft.proto == kProtoUdp) {
+    p.ft.src_port = static_cast<std::uint16_t>(d[l4_off] << 8 | d[l4_off + 1]);
+    p.ft.dst_port = static_cast<std::uint16_t>(d[l4_off + 2] << 8 | d[l4_off + 3]);
+  }
+  out = p;
+  return PcapRecordStatus::kOk;
+}
+
 Trace read_pcap(std::istream& is) {
   const auto magic = get<std::uint32_t>(is);
   if (magic != kPcapMagic) throw std::runtime_error("pcap: unsupported magic/endianness");
@@ -115,30 +157,14 @@ Trace read_pcap(std::istream& is) {
     if (incl > 1u << 20) throw std::runtime_error("pcap: absurd record length");
     std::string frame(incl, '\0');
     if (!is.read(frame.data(), incl)) throw std::runtime_error("pcap: truncated record");
-    if (incl < kMinFrame) continue;
-
-    const auto* d = reinterpret_cast<const unsigned char*>(frame.data());
-    const std::uint16_t ethertype = static_cast<std::uint16_t>(d[12] << 8 | d[13]);
-    if (ethertype != 0x0800) continue;  // not IPv4
-    const unsigned char ihl = d[kEthLen] & 0x0F;
-    if ((d[kEthLen] >> 4) != 4 || ihl < 5) continue;
-    const std::size_t l4_off = kEthLen + 4u * ihl;
-    if (incl < l4_off + 4) continue;
 
     Packet p;
-    p.ts = static_cast<double>(ts_sec) + static_cast<double>(ts_usec) * 1e-6;
-    p.length = static_cast<std::uint16_t>(d[kEthLen + 2] << 8 | d[kEthLen + 3]);
-    if (p.length == 0) p.length = static_cast<std::uint16_t>(orig - kEthLen);
-    p.ttl = d[kEthLen + 8];
-    p.ft.proto = d[kEthLen + 9];
-    p.ft.src_ip = static_cast<std::uint32_t>(d[kEthLen + 12] << 24 | d[kEthLen + 13] << 16 |
-                                             d[kEthLen + 14] << 8 | d[kEthLen + 15]);
-    p.ft.dst_ip = static_cast<std::uint32_t>(d[kEthLen + 16] << 24 | d[kEthLen + 17] << 16 |
-                                             d[kEthLen + 18] << 8 | d[kEthLen + 19]);
-    if (p.ft.proto == kProtoTcp || p.ft.proto == kProtoUdp) {
-      p.ft.src_port = static_cast<std::uint16_t>(d[l4_off] << 8 | d[l4_off + 1]);
-      p.ft.dst_port = static_cast<std::uint16_t>(d[l4_off + 2] << 8 | d[l4_off + 3]);
-    }
+    // Legacy semantics: records the strict parser rejects are skipped (the
+    // hardened io::TraceReader quarantines them with per-category counters
+    // instead). kBadTimestamp is tolerated here for bug-compatibility with
+    // captures whose usec field overflows; the packet keeps the raw value.
+    const auto status = parse_pcap_record(ts_sec, ts_usec % 1000000u, orig, frame, p);
+    if (status != PcapRecordStatus::kOk) continue;
     out.packets.push_back(p);
   }
   return out;

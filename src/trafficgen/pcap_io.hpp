@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "trafficgen/packet.hpp"
 
@@ -22,10 +23,45 @@ namespace iguard::traffic {
 void write_pcap(std::ostream& os, const Trace& trace);
 void write_pcap_file(const std::string& path, const Trace& trace);
 
+/// Outcome of parsing one captured frame. Everything except kOk means the
+/// packet could not be recovered from the record; the caller decides whether
+/// to skip (legacy read_pcap) or quarantine with accounting (io::TraceReader).
+enum class PcapRecordStatus : std::uint8_t {
+  kOk = 0,
+  kTruncated,         // frame shorter than the Ethernet+IPv4+L4 header stack
+  kNotIpv4,           // ethertype != 0x0800
+  kBadIpv4Header,     // IP version != 4 or IHL < 5
+  kUnsupportedProto,  // not TCP/UDP/ICMP
+  kBadLength,         // unrecoverable IP total length (0 after fallback)
+  kBadTimestamp,      // ts_usec outside [0, 999999]
+};
+
+/// Parse one pcap record (header timestamp fields + captured frame bytes)
+/// into a Packet without throwing. `orig_len` is the record header's
+/// original frame length, used as the length fallback when the IPv4 total
+/// length field is zero (clamped — never underflows on sub-Ethernet runts).
+/// Ground-truth fields (malicious, flow_id) are not representable in pcap
+/// and come back defaulted.
+PcapRecordStatus parse_pcap_record(std::uint32_t ts_sec, std::uint32_t ts_usec,
+                                   std::uint32_t orig_len, std::string_view frame,
+                                   Packet& out);
+
+/// Size of the classic pcap global header / per-record header, and the
+/// minimal supported frame (Ethernet 14 + IPv4 20 + L4 8) — shared with the
+/// hardened reader in src/io so both parse the same subset.
+inline constexpr std::size_t kPcapGlobalHeaderLen = 24;
+inline constexpr std::size_t kPcapRecordHeaderLen = 16;
+inline constexpr std::size_t kPcapMinFrame = 42;
+inline constexpr std::uint32_t kPcapMagicLE = 0xA1B2C3D4;
+inline constexpr std::uint32_t kPcapLinkEthernet = 1;
+
 /// Parse a pcap stream produced by write_pcap (or any capture restricted to
 /// Ethernet/IPv4/TCP|UDP). Unsupported records are skipped; malformed
 /// headers throw std::runtime_error. Ground-truth fields (malicious,
-/// flow_id) are not representable in pcap and come back defaulted.
+/// flow_id) are not representable in pcap and come back defaulted. This is
+/// the legacy throwing loader — new code should go through io::TraceReader,
+/// which parses the same subset with per-category accounting and a
+/// quarantine ring instead of silent skips.
 Trace read_pcap(std::istream& is);
 Trace read_pcap_file(const std::string& path);
 
