@@ -78,16 +78,74 @@ bench_smoke() {
 import json, sys
 with open(sys.argv[1]) as f:
     j = json.load(f)
-for key in ("configs", "speedup_compiled_vs_linear",
-            "steady_state_allocs_per_packet", "compiled_equals_linear",
+for key in ("configs", "speedup_compiled_vs_linear", "speedup_batched_vs_scalar",
+            "forest_kernel", "steady_state_allocs_per_packet",
+            "compiled_equals_linear", "batched_equals_scalar",
             "sharded_deterministic"):
     assert key in j, f"BENCH_pipeline json missing {key!r}"
 assert j["compiled_equals_linear"] is True, "engine verdicts diverge"
+assert j["batched_equals_scalar"] is True, "batched staging diverges from scalar"
 assert j["sharded_deterministic"] is True, "sharded replay non-deterministic"
 assert j["steady_state_allocs_per_packet"] == 0, "steady-state path allocates"
+assert j["forest_kernel"]["bit_exact"] is True, "compiled-forest kernels diverge"
 engines = {c["engine"] for c in j["configs"]}
-assert engines == {"linear", "compiled"}, f"unexpected engines {engines}"
+assert engines == {"linear", "compiled", "compiled-batched"}, f"unexpected engines {engines}"
+assert all("batch_size" in c for c in j["configs"]), "config missing batch_size"
 print("bench-smoke artifact OK:", sys.argv[1])
+EOF
+}
+
+perf_gate() {
+  local dir="build-check-bench"
+  echo "=== perf-gate (Release) ==="
+  warn_if_single_core
+  release_build bench_throughput
+  local fresh="${dir}/BENCH_pipeline_fresh.json"
+  "${dir}/bench/bench_throughput" --out "${fresh}" >/dev/null
+  # Compare the fresh ns/packet of every compiled config against the
+  # committed BENCH_pipeline.json baseline: >25% regression on any compiled
+  # path fails the gate. On a 1-core host throughput numbers measure
+  # overhead, not the engine (see warn_if_single_core), so the gate only
+  # warns there. The compiled-forest kernel must also hold its acceptance
+  # ratio: batched keys/sec >= 2x the compiled single-thread pipeline rate.
+  local enforce=1
+  [[ "${JOBS}" -le 1 ]] && enforce=0
+  python3 - "BENCH_pipeline.json" "${fresh}" "${enforce}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    base = json.load(f)
+with open(sys.argv[2]) as f:
+    fresh = json.load(f)
+enforce = sys.argv[3] == "1"
+def key(c):
+    return (c["engine"], c["shards"], c.get("batch_size", 0))
+baseline = {key(c): c for c in base["configs"]}
+failures = []
+for c in fresh["configs"]:
+    if c["engine"] == "linear":
+        continue  # the gate covers the compiled paths only
+    b = baseline.get(key(c))
+    if b is None:
+        continue  # new config with no committed baseline yet
+    ratio = c["ns_per_packet"] / b["ns_per_packet"]
+    tag = f'{c["engine"]} shards={c["shards"]} batch={c.get("batch_size", 0)}'
+    print(f'{tag}: {b["ns_per_packet"]:.0f} -> {c["ns_per_packet"]:.0f} ns/pkt '
+          f'({(ratio - 1) * 100:+.1f}%)')
+    if ratio > 1.25:
+        failures.append(tag)
+fk = fresh.get("forest_kernel", {})
+ratio2x = fk.get("batched_vs_pipeline_baseline", 0.0)
+print(f'forest kernel: batched {fk.get("compiled_batched_keys_per_sec", 0):.3g} keys/s '
+      f'= {ratio2x:.2f}x the compiled single-thread pipeline baseline')
+if ratio2x < 2.0:
+    failures.append("forest_kernel batched < 2x pipeline baseline")
+if failures:
+    msg = "PERF REGRESSION: " + "; ".join(failures)
+    if enforce:
+        raise SystemExit(msg)
+    print("WARNING (1-core host, gate advisory):", msg)
+else:
+    print("perf-gate OK: no compiled path regressed >25%")
 EOF
 }
 
@@ -343,6 +401,11 @@ csv_drift() {
 if [[ "${1:-}" == "--bench-smoke" ]]; then
   bench_smoke
   echo "=== bench smoke passed ==="
+  exit 0
+fi
+if [[ "${1:-}" == "--perf-gate" ]]; then
+  perf_gate
+  echo "=== perf gate passed ==="
   exit 0
 fi
 if [[ "${1:-}" == "--obs-smoke" ]]; then

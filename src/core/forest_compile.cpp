@@ -1,0 +1,36 @@
+#include "core/forest_compile.hpp"
+
+namespace iguard::core {
+
+ml::CompiledForest compile_forest(const std::vector<QuantizedTree>& trees) {
+  ml::CompiledForest out;
+  for (const auto& t : trees) out.add_tree(t.nodes, t.root);
+  return out;
+}
+
+ml::CompiledForest compile_forest(const GuidedIsolationForest& forest,
+                                  const rules::Quantizer& q) {
+  std::vector<QuantizedTree> qtrees;
+  qtrees.reserve(forest.trees().size());
+  for (const auto& t : forest.trees()) qtrees.push_back(quantize_tree(t, q));
+  return compile_forest(qtrees);
+}
+
+ml::CompiledForest compile_forest(const ml::IsolationForest& forest,
+                                  const rules::Quantizer& q) {
+  std::vector<QuantizedTree> qtrees;
+  qtrees.reserve(forest.trees().size());
+  for (const auto& t : forest.trees()) qtrees.push_back(quantize_tree(t, q));
+  return compile_forest(qtrees);
+}
+
+std::vector<std::int32_t> quantize_ae_thresholds(const AeEnsemble& teacher) {
+  std::vector<std::int32_t> out;
+  out.reserve(teacher.size());
+  for (std::size_t u = 0; u < teacher.size(); ++u) {
+    out.push_back(ml::to_q16(teacher.member_threshold(u)));
+  }
+  return out;
+}
+
+}  // namespace iguard::core

@@ -1,0 +1,48 @@
+// AOT model compilation front-ends (DESIGN.md §4h): lower the offline-side
+// models — the distilled guided forest, the PL conventional iForest, and the
+// AE ensemble's decision thresholds — into the flat integer-only artifacts
+// of ml/compiled_forest.hpp. Lowering goes through the existing
+// quantize_tree machinery (core/whitelist.hpp), so a compiled forest agrees
+// with the quantised reference trees at every quantised point: the guided
+// forest's benign-leaf support boxes arrive already encoded as guard-split
+// chains, and the conventional iForest's leaves carry depth + c(size)
+// payloads. Compilation is a control-plane operation; the resulting
+// CompiledForest is immutable and rides inside core::ModelBundle so it
+// versions and hitless-swaps with the rest of the deployed artifacts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ae_ensemble.hpp"
+#include "core/guided_iforest.hpp"
+#include "core/whitelist.hpp"
+#include "ml/compiled_forest.hpp"
+#include "ml/iforest.hpp"
+#include "rules/quantize.hpp"
+
+namespace iguard::core {
+
+/// Flatten already-quantised trees (the common back half of the two
+/// model-specific front-ends below).
+ml::CompiledForest compile_forest(const std::vector<QuantizedTree>& trees);
+
+/// Distilled guided forest -> flat vote kernel. Leaf payloads are the 0/1
+/// distilled labels with the benign support boxes lowered to guard splits,
+/// so predict_majority matches the forest's whitelist-semantics vote at
+/// every quantised point.
+ml::CompiledForest compile_forest(const GuidedIsolationForest& forest,
+                                  const rules::Quantizer& q);
+
+/// Conventional iForest (the PL model's early-packet detector) -> flat
+/// path-length kernel. payload_sum(key) is the summed E[h] numerator; pair
+/// it with path_threshold_from_score for classification.
+ml::CompiledForest compile_forest(const ml::IsolationForest& forest,
+                                  const rules::Quantizer& q);
+
+/// AE ensemble decision thresholds T_u lowered to Q16.16 fixed point — the
+/// integer constants a switch-resident comparator would hold. Index u
+/// matches AeEnsemble::member_threshold(u).
+std::vector<std::int32_t> quantize_ae_thresholds(const AeEnsemble& teacher);
+
+}  // namespace iguard::core

@@ -1,0 +1,116 @@
+#include "ml/compiled_forest.hpp"
+
+#include <algorithm>
+
+namespace iguard::ml {
+
+namespace {
+/// Keys evaluated per inner block: small enough that the per-key cursor
+/// array lives in L1, large enough to amortise the node-stripe traffic.
+constexpr std::size_t kChunk = 64;
+
+/// Level-synchronous descent of one tree for a whole chunk: every round
+/// advances each non-leaf cursor one level. A per-key serial walk is a
+/// dependent-load chain (one L1 hit per level, nothing to overlap); here the
+/// m cursors are independent within a round, so the out-of-order core keeps
+/// many walks in flight at once. The body is select-based (no data-dependent
+/// branches): settled cursors re-read their leaf node and step by 0, which
+/// costs one wasted round for the deepest straggler but keeps the loop
+/// branch-free. Visits exactly the leaves the scalar walk visits.
+inline void descend_chunk(const std::int16_t* feat, const std::uint32_t* thr,
+                          const std::int32_t* child, std::uint32_t root,
+                          const std::uint32_t* keys, std::size_t width, std::size_t m,
+                          std::uint32_t* cur) {
+  // Settled cursors re-read their leaf node and step by 0 until the chunk's
+  // deepest straggler lands; the wasted rounds cost less than any form of
+  // active-lane compaction (measured: lane indirection defeats the very
+  // load-pipelining this loop exists to create).
+  for (std::size_t i = 0; i < m; ++i) cur[i] = root;
+  std::uint32_t active = 1;
+  while (active != 0) {
+    active = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::uint32_t c = cur[i];
+      const std::int16_t f = feat[c];
+      const std::uint32_t live = f >= 0 ? 1u : 0u;
+      const std::size_t fi = live ? static_cast<std::size_t>(f) : 0u;
+      const std::size_t go = keys[i * width + fi] >= thr[c] ? 1u : 0u;
+      const std::int32_t step = live ? child[2 * c + go] : 0;
+      cur[i] = c + static_cast<std::uint32_t>(step);
+      active |= live;
+    }
+  }
+}
+}  // namespace
+
+// The three batched kernels share one shape: chunk the batch, and for each
+// chunk run a tree-major sweep — every key descends tree t before any key
+// touches tree t+1 — so one tree's feature/threshold/child stripes stay
+// cache-resident for the whole chunk. Per-key accumulation order over trees
+// is unchanged from the scalar loop, so double sums (a deterministic but
+// order-sensitive reduction) are bit-exact with payload_sum.
+
+void CompiledForest::score_batch(std::span<const std::uint32_t> keys, std::size_t width,
+                                 std::span<double> out) const {
+  if (width == 0 || width > kMaxFields) throw std::invalid_argument("score_batch: bad width");
+  const std::size_t n = keys.size() / width;
+  if (keys.size() != n * width || out.size() < n) {
+    throw std::invalid_argument("score_batch: buffer size mismatch");
+  }
+  for (std::size_t base = 0; base < n; base += kChunk) {
+    const std::size_t m = std::min(kChunk, n - base);
+    const std::uint32_t* kp = keys.data() + base * width;
+    double acc[kChunk] = {};
+    std::uint32_t cur[kChunk];
+    for (const std::uint32_t root : tree_root_) {
+      descend_chunk(feature_.data(), threshold_.data(), child_.data(), root, kp, width, m, cur);
+      for (std::size_t i = 0; i < m; ++i) acc[i] += payload_[cur[i]];
+    }
+    for (std::size_t i = 0; i < m; ++i) out[base + i] = acc[i];
+  }
+}
+
+void CompiledForest::score_batch_q16(std::span<const std::uint32_t> keys, std::size_t width,
+                                     std::span<std::int64_t> out) const {
+  if (width == 0 || width > kMaxFields) throw std::invalid_argument("score_batch_q16: bad width");
+  const std::size_t n = keys.size() / width;
+  if (keys.size() != n * width || out.size() < n) {
+    throw std::invalid_argument("score_batch_q16: buffer size mismatch");
+  }
+  for (std::size_t base = 0; base < n; base += kChunk) {
+    const std::size_t m = std::min(kChunk, n - base);
+    const std::uint32_t* kp = keys.data() + base * width;
+    std::int64_t acc[kChunk] = {};
+    std::uint32_t cur[kChunk];
+    for (const std::uint32_t root : tree_root_) {
+      descend_chunk(feature_.data(), threshold_.data(), child_.data(), root, kp, width, m, cur);
+      for (std::size_t i = 0; i < m; ++i) acc[i] += payload_q16_[cur[i]];
+    }
+    for (std::size_t i = 0; i < m; ++i) out[base + i] = acc[i];
+  }
+}
+
+void CompiledForest::predict_majority_batch(std::span<const std::uint32_t> keys,
+                                            std::size_t width, std::span<int> out) const {
+  if (width == 0 || width > kMaxFields) {
+    throw std::invalid_argument("predict_majority_batch: bad width");
+  }
+  const std::size_t n = keys.size() / width;
+  if (keys.size() != n * width || out.size() < n) {
+    throw std::invalid_argument("predict_majority_batch: buffer size mismatch");
+  }
+  const std::int64_t bar = static_cast<std::int64_t>(tree_count()) * 65536;
+  for (std::size_t base = 0; base < n; base += kChunk) {
+    const std::size_t m = std::min(kChunk, n - base);
+    const std::uint32_t* kp = keys.data() + base * width;
+    std::int64_t acc[kChunk] = {};
+    std::uint32_t cur[kChunk];
+    for (const std::uint32_t root : tree_root_) {
+      descend_chunk(feature_.data(), threshold_.data(), child_.data(), root, kp, width, m, cur);
+      for (std::size_t i = 0; i < m; ++i) acc[i] += payload_q16_[cur[i]];
+    }
+    for (std::size_t i = 0; i < m; ++i) out[base + i] = 2 * acc[i] > bar ? 1 : 0;
+  }
+}
+
+}  // namespace iguard::ml

@@ -1,0 +1,181 @@
+// Flat structure-of-arrays forest kernel — the AOT-compiled evaluation form
+// of a quantised tree ensemble (ROADMAP item 2; the C++ equivalent of the
+// AESS-challenge Q15 iForest export). A pointer-chasing tree walk touches a
+// scattered ~48-byte node per level; the compiled form keeps each tree's
+// nodes in level order across four parallel arrays — int16 feature index,
+// uint32 quantised threshold, two int32 *relative* child offsets, and a leaf
+// payload (double plus a Q16.16 fixed-point copy for integer-only kernels) —
+// so a descent is `i += child[2i + (key[f] >= thr)]` with every hot field in
+// a dense, prefetch-friendly stripe and no virtual dispatch anywhere.
+//
+// Trees are added from any quantised node type (core::QuantizedTree is the
+// canonical source; see core/forest_compile.hpp for the front-ends), and the
+// flattened walk visits exactly the same leaves: payload_at() is bit-exact
+// with the source tree's scalar walk, which is what the compiled-forest
+// property suite asserts. Batched entry points (score_batch and friends)
+// evaluate N keys per call with a tree-major loop so the node arrays stay
+// cache-resident across the whole batch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace iguard::ml {
+
+/// Q16.16 fixed-point encoding used by the integer-only kernels. Rounds to
+/// nearest; |v| must fit 15 integer bits (forest path lengths and 0/1 vote
+/// labels do, with room to spare).
+inline std::int32_t to_q16(double v) {
+  return static_cast<std::int32_t>(v * 65536.0 + (v >= 0 ? 0.5 : -0.5));
+}
+inline double from_q16(std::int32_t q) { return static_cast<double>(q) / 65536.0; }
+
+class CompiledForest {
+ public:
+  /// Widest key the batched kernels accept (FL = 13, PL = 4).
+  static constexpr std::size_t kMaxFields = 64;
+
+  CompiledForest() = default;
+
+  /// Flatten one source tree into the SoA arrays (level-order). NodeT needs
+  /// members `feature` (< 0 marks a leaf), `level` (quantised split
+  /// threshold; go left iff key[feature] < level), `left`/`right` (child
+  /// indexes into `nodes`) and `payload` (leaf score/label). The walk over
+  /// the flattened copy visits the same leaf as the source walk for every
+  /// key, so payloads — and any aggregate over them — are bit-identical.
+  template <class NodeT>
+  void add_tree(const std::vector<NodeT>& nodes, int root) {
+    if (nodes.empty()) throw std::invalid_argument("CompiledForest: empty tree");
+    tree_root_.push_back(static_cast<std::uint32_t>(feature_.size()));
+    // Level-order (BFS) emission: children always land after their parent,
+    // so both child offsets are positive and bounded by the tree size.
+    std::vector<int> order;           // source index, in emission order
+    std::vector<std::int32_t> slot(nodes.size(), -1);  // source -> flat slot
+    order.push_back(root);
+    slot[static_cast<std::size_t>(root)] =
+        static_cast<std::int32_t>(feature_.size());
+    for (std::size_t head = 0; head < order.size(); ++head) {
+      const NodeT& n = nodes[static_cast<std::size_t>(order[head])];
+      if (n.feature >= 0) {
+        for (const int c : {n.left, n.right}) {
+          // The child's flat slot is wherever the BFS queue will emit it:
+          // base (nodes already flattened from earlier trees) + queue length.
+          slot[static_cast<std::size_t>(c)] =
+              static_cast<std::int32_t>(feature_.size() + order.size());
+          order.push_back(c);
+        }
+      }
+    }
+    // Second pass: emit in BFS order, recording relative child offsets.
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const NodeT& n = nodes[static_cast<std::size_t>(order[k])];
+      const std::int32_t self = slot[static_cast<std::size_t>(order[k])];
+      if (n.feature >= 0) {
+        if (n.feature > 0x7FFF) throw std::invalid_argument("CompiledForest: feature > int16");
+        feature_.push_back(static_cast<std::int16_t>(n.feature));
+        threshold_.push_back(n.level);
+        child_.push_back(slot[static_cast<std::size_t>(n.left)] - self);
+        child_.push_back(slot[static_cast<std::size_t>(n.right)] - self);
+        payload_.push_back(0.0);
+        payload_q16_.push_back(0);
+      } else {
+        feature_.push_back(-1);
+        threshold_.push_back(0);
+        child_.push_back(0);
+        child_.push_back(0);
+        payload_.push_back(n.payload);
+        payload_q16_.push_back(to_q16(n.payload));
+      }
+    }
+  }
+
+  std::size_t tree_count() const { return tree_root_.size(); }
+  std::size_t node_count() const { return feature_.size(); }
+  bool empty() const { return tree_root_.empty(); }
+
+  /// Scalar walk of one tree: the flattened twin of QuantizedTree's
+  /// payload_at (bit-exact — same leaf, same stored double). No allocation.
+  double payload_at(std::size_t tree, std::span<const std::uint32_t> key) const {
+    return payload_[walk(tree_root_[tree], key)];
+  }
+
+  /// Sum of payload_at over all trees, accumulated in tree order (matches a
+  /// scalar loop over the source trees exactly). No allocation.
+  double payload_sum(std::span<const std::uint32_t> key) const {
+    double acc = 0.0;
+    for (const std::uint32_t r : tree_root_) acc += payload_[walk(r, key)];
+    return acc;
+  }
+
+  /// Integer-only twin of payload_sum: Q16.16 leaf payloads summed in
+  /// int64. Deterministic (each leaf's Q16 value is fixed at compile time)
+  /// and exactly equal between scalar and batched evaluation.
+  std::int64_t payload_sum_q16(std::span<const std::uint32_t> key) const {
+    std::int64_t acc = 0;
+    for (const std::uint32_t r : tree_root_) acc += payload_q16_[walk(r, key)];
+    return acc;
+  }
+
+  /// Strict-majority vote for distilled forests (payloads are 0/1 leaf
+  /// labels): 1 = malicious iff 2 * sum > tree_count. Matches the guided
+  /// forest's vote at every quantised point by construction.
+  int predict_majority(std::span<const std::uint32_t> key) const {
+    return 2 * payload_sum_q16(key) >
+                   static_cast<std::int64_t>(tree_count()) * 65536
+               ? 1
+               : 0;
+  }
+
+  /// Batched scoring: `keys` holds n row-major quantised keys of `width`
+  /// fields; out[i] = payload_sum(key_i). Tree-major inner loop: one tree's
+  /// node stripe services the entire batch before the next tree is touched.
+  /// Bit-exact with n scalar payload_sum calls; no allocation.
+  void score_batch(std::span<const std::uint32_t> keys, std::size_t width,
+                   std::span<double> out) const;
+
+  /// Integer-only batched scoring (Q16.16 sums). Bit-exact with scalar
+  /// payload_sum_q16; no allocation.
+  void score_batch_q16(std::span<const std::uint32_t> keys, std::size_t width,
+                       std::span<std::int64_t> out) const;
+
+  /// Batched majority vote (distilled forests): out[i] =
+  /// predict_majority(key_i). No allocation.
+  void predict_majority_batch(std::span<const std::uint32_t> keys, std::size_t width,
+                              std::span<int> out) const;
+
+  // Raw SoA access (tests assert the layout invariants; P4 emission and
+  // resource accounting can size register arrays from these).
+  std::span<const std::int16_t> features() const { return feature_; }
+  std::span<const std::uint32_t> thresholds() const { return threshold_; }
+  std::span<const std::int32_t> children() const { return child_; }
+  std::span<const double> payloads() const { return payload_; }
+  std::span<const std::int32_t> payloads_q16() const { return payload_q16_; }
+  std::span<const std::uint32_t> roots() const { return tree_root_; }
+
+ private:
+  /// Branch-light iterative descent: two loads and an add per level, no
+  /// pointer chasing. Returns the leaf's flat node index.
+  std::size_t walk(std::uint32_t root, std::span<const std::uint32_t> key) const {
+    std::size_t i = root;
+    std::int16_t f = feature_[i];
+    while (f >= 0) {
+      const std::size_t go_right =
+          key[static_cast<std::size_t>(f)] >= threshold_[i] ? 1u : 0u;
+      i += static_cast<std::size_t>(child_[2 * i + go_right]);
+      f = feature_[i];
+    }
+    return i;
+  }
+
+  // One entry per node, all trees concatenated, level-order per tree.
+  std::vector<std::int16_t> feature_;     // -1 = leaf
+  std::vector<std::uint32_t> threshold_;  // quantised split level
+  std::vector<std::int32_t> child_;       // 2 per node: relative offsets
+  std::vector<double> payload_;           // leaf score/label (0 on splits)
+  std::vector<std::int32_t> payload_q16_; // Q16.16 copy for integer kernels
+  std::vector<std::uint32_t> tree_root_;  // flat index of each tree's root
+};
+
+}  // namespace iguard::ml

@@ -13,6 +13,10 @@ constexpr std::uint64_t kDomainEnd = 1ull << 32;  // one past the largest key
 /// 13 (FL) fields wide. Wider rules fall back to the linear scan.
 constexpr std::size_t kMaxFields = 64;
 
+/// Keys per batched inner block: bounds the stack scratch (row pointers are
+/// kChunk × kMaxBatchWidth) and keeps per-key cursors in L1.
+constexpr std::size_t kChunk = 64;
+
 }  // namespace
 
 void CompiledRuleTable::compile(const std::vector<RangeRule>& sorted_rules) {
@@ -41,18 +45,21 @@ void CompiledRuleTable::compile(const std::vector<RangeRule>& sorted_rules) {
     for (std::size_t f = 0; f < g.width; ++f) {
       FieldIndex& fi = g.fields[f];
       // Breakpoints: every rule's lo and hi+1 (the first value past the
-      // range). Between consecutive breakpoints the covering set is constant.
-      fi.bounds.clear();
-      fi.bounds.push_back(0);
+      // range). Between consecutive breakpoints the covering set is
+      // constant. Collected in 64-bit (hi+1 can be 2^32), narrowed below
+      // once the one out-of-domain candidate is dropped.
+      std::vector<std::uint64_t> bounds;
+      bounds.push_back(0);
       for (const std::uint32_t gi : g.to_global) {
         const FieldRange& r = rules_[gi].fields[f];
         if (r.empty()) continue;  // matches nothing: never sets a bit
-        fi.bounds.push_back(r.lo);
-        fi.bounds.push_back(static_cast<std::uint64_t>(r.hi) + 1);
+        bounds.push_back(r.lo);
+        bounds.push_back(static_cast<std::uint64_t>(r.hi) + 1);
       }
-      std::sort(fi.bounds.begin(), fi.bounds.end());
-      fi.bounds.erase(std::unique(fi.bounds.begin(), fi.bounds.end()), fi.bounds.end());
-      if (fi.bounds.back() >= kDomainEnd) fi.bounds.pop_back();  // hi = 2^32-1
+      std::sort(bounds.begin(), bounds.end());
+      bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+      if (bounds.back() >= kDomainEnd) bounds.pop_back();  // hi = 2^32-1
+      fi.bounds.assign(bounds.begin(), bounds.end());
 
       fi.masks.assign(fi.bounds.size() * g.words, 0);
       for (std::size_t li = 0; li < n; ++li) {
@@ -60,15 +67,24 @@ void CompiledRuleTable::compile(const std::vector<RangeRule>& sorted_rules) {
         if (r.empty()) continue;
         // Intervals are either fully inside or fully outside [lo, hi]; the
         // covered ones start at bound == lo and end before the bound > hi.
-        const auto first = std::lower_bound(fi.bounds.begin(), fi.bounds.end(),
-                                            static_cast<std::uint64_t>(r.lo));
-        const auto last = std::upper_bound(first, fi.bounds.end(),
-                                           static_cast<std::uint64_t>(r.hi));
+        const auto first = std::lower_bound(fi.bounds.begin(), fi.bounds.end(), r.lo);
+        const auto last = std::upper_bound(first, fi.bounds.end(), r.hi);
         const std::uint64_t bit = 1ull << (li % 64);
         const std::size_t word = li / 64;
         for (auto it = first; it != last; ++it) {
           const std::size_t iv = static_cast<std::size_t>(it - fi.bounds.begin());
           fi.masks[iv * g.words + word] |= bit;
+        }
+      }
+      // Coverage flags: an interval with an all-zero mask row can reject a
+      // lookup after one binary search, before any AND work.
+      fi.covered.assign(fi.bounds.size(), 0);
+      for (std::size_t iv = 0; iv < fi.bounds.size(); ++iv) {
+        for (std::size_t w = 0; w < g.words; ++w) {
+          if (fi.masks[iv * g.words + w] != 0) {
+            fi.covered[iv] = 1;
+            break;
+          }
         }
       }
     }
@@ -90,9 +106,9 @@ int CompiledRuleTable::match_index(std::span<const std::uint32_t> key) const {
     const std::uint64_t* rows[kMaxFields];
     for (std::size_t f = 0; f < g.width; ++f) {
       const FieldIndex& fi = g.fields[f];
-      const auto it = std::upper_bound(fi.bounds.begin(), fi.bounds.end(),
-                                       static_cast<std::uint64_t>(key[f]));
+      const auto it = std::upper_bound(fi.bounds.begin(), fi.bounds.end(), key[f]);
       const std::size_t iv = static_cast<std::size_t>(it - fi.bounds.begin()) - 1;
+      if (fi.covered[iv] == 0) return -1;  // no rule covers key[f] here
       rows[f] = fi.masks.data() + iv * g.words;
     }
     // Word-wise intersection, low rule indices first: the first set bit is
@@ -108,6 +124,161 @@ int CompiledRuleTable::match_index(std::span<const std::uint32_t> key) const {
     return -1;
   }
   return -1;
+}
+
+void CompiledRuleTable::match_index_batch(std::span<const std::uint32_t> keys,
+                                          std::size_t width, std::span<int> out,
+                                          const std::uint8_t* skip) const {
+  const std::size_t n = out.size();
+  if (keys.size() < n * width) return;  // malformed: leave out untouched
+  const WidthGroup* grp = nullptr;
+  for (const auto& g : groups_) {
+    if (g.width == width) {
+      grp = &g;
+      break;
+    }
+  }
+  if (grp == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (skip == nullptr || skip[i] == 0) out[i] = -1;
+    }
+    return;
+  }
+  const WidthGroup& g = *grp;
+  if (width == 0 || width > kMaxBatchWidth) {
+    // Degenerate or too wide for the stack scratch: per-key scalar lookups
+    // (still bit-exact; kMaxBatchWidth covers the FL=13 / PL=4 deployments).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (skip == nullptr || skip[i] == 0) {
+        out[i] = match_index(keys.subspan(i * width, width));
+      }
+    }
+    return;
+  }
+  for (std::size_t base = 0; base < n; base += kChunk) {
+    const std::size_t m = std::min(kChunk, n - base);
+    const std::uint64_t* rows[kChunk * kMaxBatchWidth];
+    std::uint8_t dead[kChunk];
+    // Field-major interval resolution: field f's bounds array is reused by
+    // every key of the chunk before the next field is touched, which is
+    // where the batched path amortises the binary-search cache traffic.
+    for (std::size_t i = 0; i < m; ++i) {
+      dead[i] = (skip != nullptr && skip[base + i] != 0) ? 2 : 0;
+    }
+    for (std::size_t f = 0; f < width; ++f) {
+      const FieldIndex& fi = g.fields[f];
+      const std::uint32_t* b = fi.bounds.data();
+      const std::size_t bn = fi.bounds.size();
+      for (std::size_t i = 0; i < m; ++i) {
+        if (dead[i] != 0) continue;
+        const std::uint32_t v = keys[(base + i) * width + f];
+        const std::size_t iv =
+            static_cast<std::size_t>(std::upper_bound(b, b + bn, v) - b) - 1;
+        if (fi.covered[iv] == 0) {
+          dead[i] = 1;  // provable miss: skip this key's remaining fields
+          continue;
+        }
+        rows[i * width + f] = fi.masks.data() + iv * g.words;
+      }
+    }
+    // Per-key AND sweep, identical to the scalar priority encoder.
+    for (std::size_t i = 0; i < m; ++i) {
+      if (dead[i] == 2) continue;  // caller-skipped: leave out untouched
+      if (dead[i] == 1) {
+        out[base + i] = -1;
+        continue;
+      }
+      const std::uint64_t* const* r = rows + i * width;
+      int found = -1;
+      for (std::size_t w = 0; w < g.words; ++w) {
+        std::uint64_t acc = r[0][w];
+        for (std::size_t f = 1; f < width && acc != 0; ++f) acc &= r[f][w];
+        if (acc != 0) {
+          const std::size_t local =
+              w * 64 + static_cast<std::size_t>(std::countr_zero(acc));
+          found = static_cast<int>(g.to_global[local]);
+          break;
+        }
+      }
+      out[base + i] = found;
+    }
+  }
+}
+
+void CompiledRuleTable::matches_any_batch(std::span<const std::uint32_t> keys,
+                                          std::size_t width, std::span<std::uint8_t> out,
+                                          const std::uint8_t* skip) const {
+  const std::size_t n = out.size();
+  if (keys.size() < n * width) return;
+  const WidthGroup* grp = nullptr;
+  for (const auto& g : groups_) {
+    if (g.width == width) {
+      grp = &g;
+      break;
+    }
+  }
+  if (grp == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (skip == nullptr || skip[i] == 0) out[i] = 0;
+    }
+    return;
+  }
+  const WidthGroup& g = *grp;
+  if (width == 0 || width > kMaxBatchWidth) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (skip == nullptr || skip[i] == 0) {
+        out[i] = matches_any(keys.subspan(i * width, width)) ? 1 : 0;
+      }
+    }
+    return;
+  }
+  for (std::size_t base = 0; base < n; base += kChunk) {
+    const std::size_t m = std::min(kChunk, n - base);
+    const std::uint64_t* rows[kChunk * kMaxBatchWidth];
+    std::uint8_t dead[kChunk];
+    for (std::size_t i = 0; i < m; ++i) {
+      dead[i] = (skip != nullptr && skip[base + i] != 0) ? 2 : 0;
+    }
+    for (std::size_t f = 0; f < width; ++f) {
+      const FieldIndex& fi = g.fields[f];
+      const std::uint32_t* b = fi.bounds.data();
+      const std::size_t bn = fi.bounds.size();
+      for (std::size_t i = 0; i < m; ++i) {
+        if (dead[i] != 0) continue;
+        const std::uint32_t v = keys[(base + i) * width + f];
+        const std::size_t iv =
+            static_cast<std::size_t>(std::upper_bound(b, b + bn, v) - b) - 1;
+        if (fi.covered[iv] == 0) {
+          dead[i] = 1;
+          continue;
+        }
+        rows[i * width + f] = fi.masks.data() + iv * g.words;
+      }
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      if (dead[i] == 2) continue;
+      if (dead[i] == 1) {
+        out[base + i] = 0;
+        continue;
+      }
+      const std::uint64_t* const* r = rows + i * width;
+      std::uint8_t hit = 0;
+      for (std::size_t w = 0; w < g.words && hit == 0; ++w) {
+        std::uint64_t acc = r[0][w];
+        for (std::size_t f = 1; f < width && acc != 0; ++f) acc &= r[f][w];
+        hit = acc != 0 ? 1 : 0;
+      }
+      out[base + i] = hit;
+    }
+  }
+}
+
+void CompiledRuleTable::classify_batch(std::span<const std::uint32_t> keys, std::size_t width,
+                                       std::span<int> out) const {
+  match_index_batch(keys, width, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = out[i] >= 0 ? rules_[static_cast<std::size_t>(out[i])].label : 1;
+  }
 }
 
 }  // namespace iguard::rules

@@ -41,6 +41,29 @@ class CompiledRuleTable {
   /// True iff any rule matches (the per-tree benign vote). No allocation.
   bool matches_any(std::span<const std::uint32_t> key) const { return match_index(key) >= 0; }
 
+  /// Batch width above which the batched entry points fall back to per-key
+  /// scalar lookups (the row-pointer scratch is stack-resident).
+  static constexpr std::size_t kMaxBatchWidth = 16;
+
+  /// Batched match: `keys` holds out.size() row-major keys of `width` fields
+  /// each; out[i] = match_index(key_i). The per-field interval binary
+  /// searches run field-major across the batch (one field's bounds array
+  /// stays cache-resident for every key) before the per-key bitmask AND
+  /// sweeps. Bit-exact with the scalar loop; no heap allocation. `skip`
+  /// (optional, out.size() bytes) marks keys to leave untouched.
+  void match_index_batch(std::span<const std::uint32_t> keys, std::size_t width,
+                         std::span<int> out, const std::uint8_t* skip = nullptr) const;
+
+  /// Batched any-match (the per-tree benign vote): out[i] = matches_any.
+  /// Same amortisation and exactness contract as match_index_batch.
+  void matches_any_batch(std::span<const std::uint32_t> keys, std::size_t width,
+                         std::span<std::uint8_t> out, const std::uint8_t* skip = nullptr) const;
+
+  /// Batched whitelist classify: matched rule's label, else 1. Bit-exact
+  /// with per-key classify; no allocation.
+  void classify_batch(std::span<const std::uint32_t> keys, std::size_t width,
+                      std::span<int> out) const;
+
   /// First matching rule in priority order — same contract as
   /// RuleTable::match (copies the rule; use match_index on hot paths).
   std::optional<RangeRule> match(std::span<const std::uint32_t> key) const {
@@ -59,10 +82,16 @@ class CompiledRuleTable {
   /// Interval index for one field of one key-width group. Interval i spans
   /// [bounds[i], bounds[i+1]) (the last one extends to 2^32), and
   /// masks[i * words + w] holds bit b for every local rule 64*w + b whose
-  /// range covers the whole interval.
+  /// range covers the whole interval. Bounds are stored as uint32 (every
+  /// start point fits: the one candidate equal to 2^32 is popped during
+  /// compilation) so the binary-search working set is half the size.
+  /// covered[i] == 0 marks an interval no rule covers on this field — a key
+  /// landing there cannot match anything, so lookups reject before touching
+  /// any mask row (the common case for off-whitelist traffic).
   struct FieldIndex {
-    std::vector<std::uint64_t> bounds;  // ascending interval start points
-    std::vector<std::uint64_t> masks;   // bounds.size() rows × `words` words
+    std::vector<std::uint32_t> bounds;   // ascending interval start points
+    std::vector<std::uint8_t> covered;   // per interval: any mask bit set
+    std::vector<std::uint64_t> masks;    // bounds.size() rows × `words` words
   };
 
   /// Rules are grouped by field count: a key only ever matches rules of its

@@ -24,6 +24,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -72,6 +73,16 @@ struct PipelineConfig {
   /// counters (tp/fp/tn/fn) accumulate either way; turning this off keeps
   /// a 100M-packet replay from holding ~200 MB of per-packet labels.
   bool record_labels = true;
+  /// Packets staged per batch by run()/process_batch(). 0 or 1 keeps the
+  /// scalar per-packet path (the reference). Larger values precompute each
+  /// batch's PL verdicts up front — columnar quantisation plus one batched
+  /// whitelist vote per batch instead of per-packet scalar lookups — then
+  /// feed the sequential per-packet state machine the precomputed hints.
+  /// Verdicts are bit-identical at any batch size (the PL verdict is a pure
+  /// function of the packet and the bound model; a mid-batch model swap
+  /// invalidates and recomputes the remaining hints). Staging buffers are
+  /// sized once, so the steady state allocates nothing per packet.
+  std::size_t batch_size = 0;
   /// Control-channel model; defaults are lockstep-equivalent (zero install
   /// latency, unbounded channel, every fault disabled).
   ControlPlaneConfig control{};
@@ -142,8 +153,17 @@ class Pipeline {
   /// then are visible to this packet's blacklist lookup.
   int process(const traffic::Packet& p, SimStats& stats);
 
-  /// Replay a whole trace; drains the control channel at the end so the
-  /// controller counters cover every digest the trace produced.
+  /// Process a contiguous batch: PL verdicts for the whole span are
+  /// precomputed through the columnar quantizer and the batched whitelist
+  /// vote, then each packet runs the normal sequential state machine with
+  /// its hint. Bit-identical to process() in a loop (including across model
+  /// swaps mid-batch); allocation-free once the staging buffers have grown
+  /// to the batch size.
+  void process_batch(std::span<const traffic::Packet> pkts, SimStats& stats);
+
+  /// Replay a whole trace (in cfg.batch_size chunks when > 1); drains the
+  /// control channel at the end so the controller counters cover every
+  /// digest the trace produced.
   SimStats run(const traffic::Trace& trace);
 
   /// Drain all in-flight control-plane work (see Controller::flush).
@@ -157,6 +177,14 @@ class Pipeline {
 
  private:
   int classify_pl(const traffic::Packet& p) const;
+  /// process() with an optional precomputed PL verdict (-1 = none). The hint
+  /// is trusted only while hints_stale_ is false: a swap rebind inside this
+  /// very call marks the batch's hints stale and falls back to the scalar
+  /// lookup, so a packet is never classified by a model it isn't bound to.
+  int process_hinted(const traffic::Packet& p, SimStats& stats, int pl_hint);
+  /// Fill batch_hints_[from..) with classify_pl of each packet, evaluated
+  /// against the currently bound model via the columnar/batched kernels.
+  void compute_pl_hints(std::span<const traffic::Packet> pkts, std::size_t from);
   void finalize_flow(const traffic::Packet& p, std::uint64_t flow_key, IntFlowState& st,
                      SimStats& stats);
   /// Re-target the model/engine pointers at a newly pinned bundle version.
@@ -191,6 +219,16 @@ class Pipeline {
   /// when a pin returns a new version.
   std::unique_ptr<SwapLoop> swap_;
   const core::ModelBundle* bound_ = nullptr;
+  /// Batch staging (cfg_.batch_size > 1): row-major PL feature rows, their
+  /// columnar-quantised keys, and the per-packet verdict hints. Grown to the
+  /// batch size on first use, reused forever after — zero steady-state
+  /// allocation on the batched path.
+  std::vector<double> batch_rows_;
+  std::vector<std::uint32_t> batch_keys_;
+  std::vector<int> batch_hints_;
+  /// Set by bind_bundle: precomputed hints describe a retired model version
+  /// and must be recomputed before the next packet consumes one.
+  bool hints_stale_ = false;
   /// Bi-hash keys of flows the data plane has classified malicious, with
   /// which leaked packets (admitted after classification) are detected.
   std::unordered_set<std::uint64_t> malicious_classified_;

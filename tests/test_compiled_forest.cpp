@@ -1,0 +1,214 @@
+// AOT compiled-forest property suite (DESIGN.md §4h): the flat SoA kernel
+// must be a bit-exact drop-in for the quantised reference trees — same leaf,
+// same stored payload, same tree-order aggregation — scalar and batched, in
+// double and in Q16.16.
+#include "ml/compiled_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/ae_ensemble.hpp"
+#include "core/forest_compile.hpp"
+#include "core/guided_iforest.hpp"
+#include "core/whitelist.hpp"
+#include "ml/iforest.hpp"
+#include "ml/rng.hpp"
+#include "rules/quantize.hpp"
+
+namespace iguard::core {
+namespace {
+
+// Small trained system shared across the suite (same recipe as the
+// whitelist suite: 3-D benign manifold, tiny AE teacher, 5-tree forest).
+class CompiledForestTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new ml::Rng(61);
+    train_ = new ml::Matrix(0, 3);
+    for (int i = 0; i < 1200; ++i) {
+      const double a = rng_->uniform();
+      const double row[3] = {a + rng_->normal(0, 0.05), 2.0 * a + rng_->normal(0, 0.05),
+                             1.0 - a + rng_->normal(0, 0.05)};
+      train_->push_row(row);
+    }
+    teacher_ = new AeEnsemble();
+    AeEnsembleConfig tcfg;
+    tcfg.ensemble_size = 2;
+    tcfg.base.encoder_hidden = {6, 2};
+    tcfg.base.epochs = 50;
+    teacher_->fit(*train_, tcfg, *rng_);
+
+    forest_ = new GuidedIsolationForest{GuidedForestConfig{.num_trees = 5}};
+    forest_->fit(*train_, *teacher_, *rng_);
+
+    quant_ = new rules::Quantizer(12);
+    quant_->fit(*train_);
+
+    qtrees_ = new std::vector<QuantizedTree>();
+    for (const auto& t : forest_->trees()) qtrees_->push_back(quantize_tree(t, *quant_));
+  }
+  static void TearDownTestSuite() {
+    delete qtrees_;
+    delete quant_;
+    delete forest_;
+    delete teacher_;
+    delete train_;
+    delete rng_;
+  }
+
+  static std::vector<std::uint32_t> random_key(ml::Rng& rng, std::size_t width,
+                                               std::uint32_t domain) {
+    std::vector<std::uint32_t> key(width);
+    for (auto& v : key) v = static_cast<std::uint32_t>(rng.integer(0, domain));
+    return key;
+  }
+
+  static ml::Rng* rng_;
+  static ml::Matrix* train_;
+  static AeEnsemble* teacher_;
+  static GuidedIsolationForest* forest_;
+  static rules::Quantizer* quant_;
+  static std::vector<QuantizedTree>* qtrees_;
+};
+ml::Rng* CompiledForestTest::rng_ = nullptr;
+ml::Matrix* CompiledForestTest::train_ = nullptr;
+AeEnsemble* CompiledForestTest::teacher_ = nullptr;
+GuidedIsolationForest* CompiledForestTest::forest_ = nullptr;
+rules::Quantizer* CompiledForestTest::quant_ = nullptr;
+std::vector<QuantizedTree>* CompiledForestTest::qtrees_ = nullptr;
+
+TEST_F(CompiledForestTest, FlattenedWalkBitExactWithQuantizedTrees) {
+  const ml::CompiledForest cf = compile_forest(*qtrees_);
+  ASSERT_EQ(cf.tree_count(), qtrees_->size());
+  std::size_t nodes = 0;
+  for (const auto& qt : *qtrees_) nodes += qt.nodes.size();
+  EXPECT_EQ(cf.node_count(), nodes);
+
+  ml::Rng probe(3);
+  const std::uint32_t domain = quant_->domain_max();
+  for (int k = 0; k < 2000; ++k) {
+    const auto key = random_key(probe, 3, domain + 8);  // past-domain keys too
+    double sum = 0.0;
+    for (std::size_t t = 0; t < qtrees_->size(); ++t) {
+      const double want = (*qtrees_)[t].payload_at(key);
+      ASSERT_EQ(cf.payload_at(t, key), want);  // exact: same stored double
+      sum += want;
+    }
+    ASSERT_EQ(cf.payload_sum(key), sum);  // tree-order accumulation
+  }
+}
+
+TEST_F(CompiledForestTest, BatchKernelsBitExactWithScalar) {
+  const ml::CompiledForest cf = compile_forest(*forest_, *quant_);
+  ml::Rng probe(9);
+  const std::uint32_t domain = quant_->domain_max();
+  // Batch sizes straddling the kernel's internal chunk (64).
+  for (const std::size_t n : {1u, 7u, 64u, 65u, 200u}) {
+    std::vector<std::uint32_t> keys(n * 3);
+    for (auto& v : keys) v = static_cast<std::uint32_t>(probe.integer(0, domain + 8));
+    std::vector<double> scores(n);
+    std::vector<std::int64_t> scores_q16(n);
+    std::vector<int> votes(n);
+    cf.score_batch(keys, 3, scores);
+    cf.score_batch_q16(keys, 3, scores_q16);
+    cf.predict_majority_batch(keys, 3, votes);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::span<const std::uint32_t> key(keys.data() + i * 3, 3);
+      ASSERT_EQ(scores[i], cf.payload_sum(key));
+      ASSERT_EQ(scores_q16[i], cf.payload_sum_q16(key));
+      ASSERT_EQ(votes[i], cf.predict_majority(key));
+    }
+  }
+}
+
+TEST_F(CompiledForestTest, MajorityVoteMatchesQuantizedLabelSum) {
+  // Guided leaves carry 0/1 labels, exact in Q16: the integer vote must
+  // reproduce "malicious iff 2 * label_sum > tree_count" everywhere.
+  const ml::CompiledForest cf = compile_forest(*forest_, *quant_);
+  ml::Rng probe(17);
+  const std::uint32_t domain = quant_->domain_max();
+  for (int k = 0; k < 2000; ++k) {
+    const auto key = random_key(probe, 3, domain + 8);
+    double sum = 0.0;
+    for (const auto& qt : *qtrees_) sum += qt.payload_at(key);
+    const int want = 2.0 * sum > static_cast<double>(qtrees_->size()) ? 1 : 0;
+    ASSERT_EQ(cf.predict_majority(key), want);
+  }
+}
+
+TEST_F(CompiledForestTest, ConventionalForestPathLengthsExact) {
+  ml::IsolationForest iforest;
+  ml::Rng rng(29);
+  iforest.fit(*train_, rng);
+  std::vector<QuantizedTree> qtrees;
+  for (const auto& t : iforest.trees()) qtrees.push_back(quantize_tree(t, *quant_));
+  const ml::CompiledForest cf = compile_forest(iforest, *quant_);
+  ASSERT_EQ(cf.tree_count(), iforest.trees().size());
+  ml::Rng probe(31);
+  const std::uint32_t domain = quant_->domain_max();
+  for (int k = 0; k < 1000; ++k) {
+    const auto key = random_key(probe, 3, domain + 8);
+    double sum = 0.0;
+    for (const auto& qt : qtrees) sum += qt.payload_at(key);
+    ASSERT_EQ(cf.payload_sum(key), sum);
+  }
+}
+
+TEST_F(CompiledForestTest, LevelOrderLayoutInvariants) {
+  const ml::CompiledForest cf = compile_forest(*qtrees_);
+  const auto roots = cf.roots();
+  const auto feats = cf.features();
+  const auto kids = cf.children();
+  for (std::size_t t = 0; t < roots.size(); ++t) {
+    const std::size_t lo = roots[t];
+    const std::size_t hi = t + 1 < roots.size() ? roots[t + 1] : cf.node_count();
+    ASSERT_LT(lo, hi);  // roots ascend; every tree owns at least one node
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (feats[i] >= 0) {
+        // Level order: children land strictly after their parent, within
+        // the same tree's stripe.
+        for (const std::int32_t off : {kids[2 * i], kids[2 * i + 1]}) {
+          ASSERT_GT(off, 0);
+          ASSERT_LT(i + static_cast<std::size_t>(off), hi);
+        }
+      } else {
+        ASSERT_EQ(kids[2 * i], 0);
+        ASSERT_EQ(kids[2 * i + 1], 0);
+      }
+    }
+  }
+  // Q16 payloads are the rounded fixed-point image of the doubles.
+  const auto pay = cf.payloads();
+  const auto pay16 = cf.payloads_q16();
+  for (std::size_t i = 0; i < cf.node_count(); ++i) {
+    ASSERT_EQ(pay16[i], ml::to_q16(pay[i]));
+  }
+}
+
+TEST_F(CompiledForestTest, AeThresholdsQuantizedPerMember) {
+  const auto t = quantize_ae_thresholds(*teacher_);
+  ASSERT_EQ(t.size(), teacher_->size());
+  for (std::size_t u = 0; u < t.size(); ++u) {
+    ASSERT_EQ(t[u], ml::to_q16(teacher_->member_threshold(u)));
+    ASSERT_NEAR(ml::from_q16(t[u]), teacher_->member_threshold(u), 1.0 / 65536.0);
+  }
+}
+
+TEST(CompiledForest, RejectsMalformedInput) {
+  ml::CompiledForest cf;
+  EXPECT_TRUE(cf.empty());
+  EXPECT_THROW(cf.add_tree(std::vector<QuantizedNode>{}, 0), std::invalid_argument);
+  std::vector<QuantizedNode> leaf(1);
+  leaf[0].payload = 1.0;
+  cf.add_tree(leaf, 0);
+  std::vector<double> out(1);
+  std::vector<std::uint32_t> keys(2);
+  EXPECT_THROW(cf.score_batch(keys, 0, out), std::invalid_argument);
+  EXPECT_THROW(cf.score_batch(keys, 65, out), std::invalid_argument);
+  EXPECT_THROW(cf.score_batch(std::span<const std::uint32_t>(keys.data(), 1), 2, out),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iguard::core
