@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Full verification sweep: build + ctest plain, then under each sanitizer.
-# Usage: scripts/check.sh [--fast|--bench-smoke|--obs-smoke|--swap-smoke|--fleet-smoke|--ingest-smoke|--fuzz-smoke|--csv-drift]
+# Usage: scripts/check.sh [--fast|--bench-smoke|--obs-smoke|--swap-smoke|--fleet-smoke|--ingest-smoke|--fuzz-smoke|--daemon-smoke|--csv-drift]
 #   --fast         plain build/test only (skip the sanitizer matrix)
 #   --bench-smoke  Release build + bench_throughput --smoke: fails if the
 #                  compiled match engine diverges from the linear scan, if
@@ -31,6 +31,12 @@
 #                  ASan then UBSan; each replays its committed seed corpus
 #                  plus seeded mutations and aborts on any crash, sanitizer
 #                  report, or conservation violation
+#   --daemon-smoke Release build + iguardd against a bundled looped trace:
+#                  scrapes /metrics twice after the finite replay completes
+#                  and fails unless the non-timing exposition is
+#                  byte-identical, the alert stream carries installs, and
+#                  SIGTERM drains cleanly (conservation audit ok, exit 0);
+#                  then repeats the serve-and-drain run under ASan
 #   --csv-drift    Release build + regenerate the committed fig*/table*/b*
 #                  CSVs in a scratch dir: fails if any regenerated CSV
 #                  differs from the committed copy (stale-artifact gate)
@@ -361,6 +367,68 @@ fuzz_smoke() {
   done
 }
 
+daemon_smoke() {
+  local dir="build-check-bench"
+  echo "=== daemon-smoke (Release) ==="
+  release_build iguardd
+  local work="${dir}/daemon-smoke"
+  rm -rf "${work}"
+  mkdir -p "${work}"
+  "${dir}/src/daemon/iguardd" --gen-trace "${work}/trace.csv"
+  python3 - "${dir}/src/daemon/iguardd" "${work}/trace.csv" <<'EOF'
+import re, signal, subprocess, sys, time, urllib.request
+
+binary, trace = sys.argv[1], sys.argv[2]
+proc = subprocess.Popen(
+    [binary, "--trace", trace, "--loop", "3", "--shards", "2", "--metrics-port", "0"],
+    stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+line = proc.stdout.readline()
+m = re.search(r"127\.0\.0\.1:(\d+)/metrics", line)
+assert m, f"no endpoint line: {line!r}"
+url = f"http://127.0.0.1:{m.group(1)}"
+
+def scrape(path="/metrics"):
+    with urllib.request.urlopen(url + path, timeout=5) as r:
+        return r.read().decode()
+
+def non_timing(text):
+    return "\n".join(l for l in text.splitlines() if "iguard_timing_" not in l)
+
+# Wait for the finite replay to finish; the endpoint outlives it so the
+# completed run's state can be scraped at rest.
+deadline = time.time() + 60
+while time.time() < deadline:
+    if "iguard_daemon_loops 3\n" in scrape():
+        break
+    time.sleep(0.1)
+else:
+    proc.kill()
+    raise SystemExit("daemon never completed 3 loops")
+
+a, b = scrape(), scrape()
+assert non_timing(a) == non_timing(b), "non-timing exposition differs between scrapes"
+assert "iguard_daemon_pushed" in a, "daemon counters missing from exposition"
+assert "iguard_daemon_ingest_offered" in a, "ingest counters missing from exposition"
+alerts = scrape("/alerts")
+assert "kind=blacklist_install" in alerts, f"no install alerts:\n{alerts[:400]}"
+assert scrape("/healthz") == "ok\n", "healthz not ok"
+
+proc.send_signal(signal.SIGTERM)
+out, _ = proc.communicate(timeout=30)
+assert proc.returncode == 0, f"iguardd exited {proc.returncode}:\n{out}"
+assert "conservation audit: ok" in out, f"no clean audit:\n{out}"
+print("daemon-smoke OK: deterministic exposition, alert stream, clean SIGTERM drain")
+EOF
+  # The same serve-and-drain loop must be clean under ASan.
+  local asan_dir="build-check-daemon-asan"
+  cmake -B "${asan_dir}" -S . "${GENERATOR_ARGS[@]}" -DIGUARD_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "${asan_dir}" -j "${JOBS}" --target iguardd
+  "${asan_dir}/src/daemon/iguardd" --trace "${work}/trace.csv" --loop 2 --shards 2 \
+    | grep -q "conservation audit: ok"
+  echo "daemon-smoke OK under ASan"
+}
+
 # The committed paper artifacts regenerated by --csv-drift, with the bench
 # that writes each. ablation.csv / consistency.csv are sweep-style artifacts
 # outside the fig*/table*/b* set and are not gated.
@@ -431,6 +499,11 @@ fi
 if [[ "${1:-}" == "--fuzz-smoke" ]]; then
   fuzz_smoke
   echo "=== fuzz smoke passed ==="
+  exit 0
+fi
+if [[ "${1:-}" == "--daemon-smoke" ]]; then
+  daemon_smoke
+  echo "=== daemon smoke passed ==="
   exit 0
 fi
 if [[ "${1:-}" == "--csv-drift" ]]; then

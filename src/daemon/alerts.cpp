@@ -1,0 +1,74 @@
+#include "daemon/alerts.hpp"
+
+#include <cstdio>
+
+namespace iguard::daemon {
+
+std::string_view alert_kind_name(AlertKind k) {
+  switch (k) {
+    case AlertKind::kBlacklistInstall: return "blacklist_install";
+    case AlertKind::kSwapPublish: return "swap_publish";
+    case AlertKind::kQuarantine: return "quarantine";
+    case AlertKind::kShed: return "shed";
+    case AlertKind::kReload: return "reload";
+    case AlertKind::kContainer: return "container";
+  }
+  return "unknown";
+}
+
+AlertLog::AlertLog(std::size_t capacity) : cap_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(cap_);
+}
+
+void AlertLog::emit(AlertKind kind, double ts, std::uint64_t count, std::uint32_t shard,
+                    std::uint64_t version) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_[next_] = AlertRecord{emitted_ + 1, kind, ts, count, shard, version};
+  next_ = (next_ + 1) % cap_;
+  ++emitted_;
+  totals_[static_cast<std::size_t>(kind)] += count;
+}
+
+std::uint64_t AlertLog::emitted() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return emitted_;
+}
+
+std::uint64_t AlertLog::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return emitted_ > cap_ ? emitted_ - cap_ : 0;
+}
+
+std::uint64_t AlertLog::total(AlertKind kind) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return totals_[static_cast<std::size_t>(kind)];
+}
+
+void AlertLog::snapshot(std::vector<AlertRecord>& out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  out.clear();
+  const std::size_t n = emitted_ < cap_ ? static_cast<std::size_t>(emitted_) : cap_;
+  const std::size_t start = emitted_ < cap_ ? 0 : next_;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(ring_[(start + i) % cap_]);
+}
+
+std::string AlertLog::render() const {
+  std::vector<AlertRecord> rows;
+  snapshot(rows);
+  std::string out;
+  out.reserve(rows.size() * 64);
+  char buf[160];
+  for (const auto& r : rows) {
+    std::snprintf(buf, sizeof(buf),
+                  "seq=%llu ts=%.17g kind=%s shard=%u count=%llu version=%llu\n",
+                  static_cast<unsigned long long>(r.seq), r.ts,
+                  std::string(alert_kind_name(r.kind)).c_str(), r.shard,
+                  static_cast<unsigned long long>(r.count),
+                  static_cast<unsigned long long>(r.version));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace iguard::daemon

@@ -1,0 +1,78 @@
+// Line-delimited alert stream for the serving daemon (DESIGN.md §4i): a
+// bounded, preallocated ring of POD alert records plus per-kind running
+// totals. Alerts are emitted as *deltas at flush points* — the daemon scans
+// its counters every few packets/batches and emits one record per counter
+// that moved — so the sum of alert counts per kind equals the corresponding
+// stats total exactly (the conservation property the exposition tests gate
+// on), while a burst of ten thousand installs costs a handful of records,
+// not ten thousand.
+//
+// emit() takes a small mutex but never allocates: the ring is sized at
+// construction and overwrites the oldest record once full (counted as
+// dropped; totals keep accumulating). Text rendering happens off the packet
+// path — at scrape, flush, or shutdown.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iguard::daemon {
+
+enum class AlertKind : std::uint8_t {
+  kBlacklistInstall = 0,  // controller installed blacklist rules
+  kSwapPublish,           // a new model bundle version went live
+  kQuarantine,            // ingest quarantined malformed records
+  kShed,                  // overload gate shed packets
+  kReload,                // config reload applied (count = 1) or rejected (count = 0)
+  kContainer,             // source container damage (bad magic, unframeable)
+};
+inline constexpr std::size_t kAlertKinds = 6;
+
+/// Stable lowercase name ("blacklist_install", ...): the `kind=` field of
+/// the rendered line and the metrics key suffix.
+std::string_view alert_kind_name(AlertKind k);
+
+struct AlertRecord {
+  std::uint64_t seq = 0;   // 1-based emission order, survives ring wrap
+  AlertKind kind = AlertKind::kBlacklistInstall;
+  double ts = 0.0;         // event time (packet timestamp domain)
+  std::uint64_t count = 0; // events coalesced into this record
+  std::uint32_t shard = 0; // originating shard (0 for producer-side kinds)
+  std::uint64_t version = 0;  // model version (kSwapPublish/kReload), else 0
+};
+
+class AlertLog {
+ public:
+  explicit AlertLog(std::size_t capacity);
+
+  /// Record one alert; O(1), allocation-free, oldest-overwrite once full.
+  void emit(AlertKind kind, double ts, std::uint64_t count, std::uint32_t shard = 0,
+            std::uint64_t version = 0);
+
+  std::uint64_t emitted() const;                 // records ever emitted
+  std::uint64_t dropped() const;                 // overwritten by ring wrap
+  std::uint64_t total(AlertKind kind) const;     // sum of counts, survives wrap
+  std::size_t capacity() const { return cap_; }
+
+  /// Oldest-retained-first copy of the ring (for tests and JSON-ish dumps).
+  void snapshot(std::vector<AlertRecord>& out) const;
+
+  /// Line-delimited text, oldest retained first:
+  ///   seq=12 ts=3.25 kind=swap_publish shard=0 count=1 version=2
+  /// ts prints %.17g (bit-exact round-trip, same policy as trace_to_csv);
+  /// byte-deterministic for a deterministic run.
+  std::string render() const;
+
+ private:
+  std::size_t cap_;
+  mutable std::mutex mu_;
+  std::vector<AlertRecord> ring_;  // sized cap_ up front
+  std::size_t next_ = 0;           // ring write cursor
+  std::uint64_t emitted_ = 0;
+  std::uint64_t totals_[kAlertKinds] = {};
+};
+
+}  // namespace iguard::daemon

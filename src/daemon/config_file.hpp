@@ -1,0 +1,35 @@
+// iguardd config files (DESIGN.md §4i): a flat `key = value` format with
+// `#` comments, one knob per line. The parser only *stages* values into a
+// DaemonConfig — daemon::validate_config() (and the reload structural diff)
+// stays the single authority on what is legal, so a config file cannot
+// express a state the programmatic API would reject.
+//
+//   # serve a looped trace with overload control
+//   source.path = traces/campus.csv
+//   source.loops = 0              # forever
+//   shards = 2
+//   overload.enabled = true
+//   overload.drain_rate_pps = 50000
+//   overload.policy = flow_hash
+//   pipeline.swap.enabled = true
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "daemon/daemon.hpp"
+
+namespace iguard::daemon {
+
+/// Apply `key = value` lines from `text` on top of `out` (so defaults and
+/// flag overrides survive unless the file sets them). Returns empty on
+/// success, otherwise "line N: problem" for the first bad line — unknown
+/// keys are errors, not warnings, so a typo cannot silently revert a knob
+/// to its default.
+std::string parse_config_text(std::string_view text, DaemonConfig& out);
+
+/// parse_config_text over the contents of `path`; "cannot open" errors are
+/// reported the same way (returned, never thrown).
+std::string load_config_file(const std::string& path, DaemonConfig& out);
+
+}  // namespace iguard::daemon

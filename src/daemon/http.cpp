@@ -1,0 +1,124 @@
+#include "daemon/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace iguard::daemon {
+
+namespace {
+
+/// Write the whole buffer, riding out EINTR / partial writes.
+void write_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+    } else if (n < 0 && errno != EINTR) {
+      return;  // peer went away; nothing useful to do
+    }
+  }
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { stop(); }
+
+std::string HttpServer::start(std::uint16_t port, Handler handler) {
+  if (listen_fd_ >= 0) return "already running";
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::string("socket: ") + std::strerror(errno);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::string("bind: ") + std::strerror(errno);
+    ::close(fd);
+    return err;
+  }
+  if (::listen(fd, 8) != 0) {
+    const std::string err = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return err;
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) != 0) {
+    const std::string err = std::string("getsockname: ") + std::strerror(errno);
+    ::close(fd);
+    return err;
+  }
+  port_ = ntohs(bound.sin_port);
+  handler_ = std::move(handler);
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve_loop(); });
+  return {};
+}
+
+void HttpServer::stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  ::shutdown(listen_fd_, SHUT_RDWR);  // unblocks the accept()
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpServer::serve_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      break;  // listening socket was shut down
+    }
+    // Read until the end of the request head; the request line is all we
+    // use, and it cannot span more than this bound in a legitimate scrape.
+    std::string req;
+    char buf[1024];
+    while (req.size() < 8192 && req.find("\r\n") == std::string::npos) {
+      const ssize_t n = ::read(conn, buf, sizeof(buf));
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;
+      }
+      req.append(buf, static_cast<std::size_t>(n));
+    }
+
+    HttpResponse resp;
+    const std::size_t sp1 = req.find(' ');
+    const std::size_t sp2 = sp1 == std::string::npos ? std::string::npos : req.find(' ', sp1 + 1);
+    if (req.compare(0, 4, "GET ") != 0 || sp2 == std::string::npos) {
+      resp.status = 400;
+      resp.body = "bad request\n";
+    } else {
+      resp = handler_(req.substr(sp1 + 1, sp2 - sp1 - 1));
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+
+    const char* reason = resp.status == 200   ? "OK"
+                         : resp.status == 404 ? "Not Found"
+                         : resp.status == 400 ? "Bad Request"
+                                              : "Internal Server Error";
+    std::string head = "HTTP/1.0 " + std::to_string(resp.status) + " " + reason +
+                       "\r\nContent-Type: " + resp.content_type +
+                       "\r\nContent-Length: " + std::to_string(resp.body.size()) +
+                       "\r\nConnection: close\r\n\r\n";
+    write_all(conn, head.data(), head.size());
+    write_all(conn, resp.body.data(), resp.body.size());
+    ::shutdown(conn, SHUT_WR);
+    ::close(conn);
+  }
+}
+
+}  // namespace iguard::daemon

@@ -1,0 +1,59 @@
+// Minimal HTTP/1.0 text endpoint for iguardd (DESIGN.md §4i): serves the
+// Prometheus exposition, the alerts stream, and a health probe over a
+// loopback socket. Deliberately tiny — GET only, one connection at a time,
+// Connection: close — because the daemon's observability surface is a
+// handful of text documents scraped every few seconds, not a web service.
+// The serving thread never touches pipeline state directly; handlers are
+// closures the daemon binds over its own snapshot methods.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace iguard::daemon {
+
+struct HttpResponse {
+  int status = 200;  // 200 or 404; anything else renders as 500
+  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+  std::string body;
+};
+
+/// Loopback-only (127.0.0.1) blocking HTTP server on its own thread.
+class HttpServer {
+ public:
+  /// Called on the serving thread with the request path ("/metrics").
+  using Handler = std::function<HttpResponse(const std::string& path)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral; see port()) and start the accept
+  /// thread. Returns empty on success, otherwise the failing syscall.
+  std::string start(std::uint16_t port, Handler handler);
+
+  /// The bound port — the ephemeral one when start() was given 0.
+  std::uint16_t port() const { return port_; }
+
+  /// Shut the listening socket down and join the thread. Idempotent.
+  void stop();
+
+  bool running() const { return listen_fd_ >= 0; }
+  std::uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+
+ private:
+  void serve_loop();
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  Handler handler_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace iguard::daemon

@@ -1,5 +1,6 @@
 #include "io/chaos.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <vector>
 
@@ -7,6 +8,11 @@ namespace iguard::io {
 
 std::string mangle_csv(std::string_view csv, const switchsim::FaultConfig& faults,
                        std::size_t batch_records, ChaosStats& stats) {
+  if (const std::string err = switchsim::validate_config(faults); !err.empty()) {
+    const std::size_t colon = err.find(':');
+    throw switchsim::ConfigError("FaultConfig", err.substr(0, colon),
+                                 colon == std::string::npos ? err : err.substr(colon + 2));
+  }
   if (!faults.ingest_any_enabled()) return std::string(csv);
   if (batch_records == 0) batch_records = 1;
   switchsim::FaultInjector inj(faults);
@@ -36,7 +42,12 @@ std::string mangle_csv(std::string_view csv, const switchsim::FaultConfig& fault
   mangled.reserve(records.size());
   for (const auto& rec : records) {
     const double ts = std::strtod(rec.c_str(), nullptr);  // lenient: chaos only
-    auto copies = static_cast<std::uint64_t>(inj.burst_multiplier_at(ts));
+    // validate_config bounds each window's multiplier, but overlapping
+    // windows multiply; clamp the product so the uint64 cast below stays
+    // defined no matter how windows stack.
+    const double mult =
+        std::min(inj.burst_multiplier_at(ts), switchsim::kMaxBurstMultiplier);
+    auto copies = static_cast<std::uint64_t>(mult);
     if (copies < 1) copies = 1;
     stats.burst_copies += copies - 1;
     for (std::uint64_t c = 0; c < copies; ++c) {

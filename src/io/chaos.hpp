@@ -38,7 +38,9 @@ struct ChaosStats {
 /// Apply `faults`' ingest-domain programme to a CSV trace byte stream and
 /// return the mangled stream. Deterministic: a pure function of
 /// (csv, faults.seed, batch_records). With every ingest fault off the
-/// output is the input, byte for byte.
+/// output is the input, byte for byte. Throws switchsim::ConfigError on an
+/// invalid fault programme (e.g. a negative or non-finite burst
+/// multiplier, which would be UB at the copy-count cast).
 std::string mangle_csv(std::string_view csv, const switchsim::FaultConfig& faults,
                        std::size_t batch_records, ChaosStats& stats);
 

@@ -61,9 +61,6 @@ void OverloadGate::drain_to(double ts_s, std::vector<traffic::Packet>& out) {
   if (head_ == queue_.size()) {
     queue_.clear();
     head_ = 0;
-    // Idle server forfeits unserved tokens: an empty queue must not bank
-    // drain capacity for a later burst, or the rate limit would be elastic.
-    drained_ = std::max(drained_, tokens);
   } else if (head_ > 4096 && head_ * 2 > queue_.size()) {
     queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(head_));
     head_ = 0;
@@ -82,6 +79,18 @@ void OverloadGate::offer(const traffic::Packet& p, std::vector<traffic::Packet>&
     t0_ = p.ts;
   }
   drain_to(p.ts, out);
+
+  if (queue_.empty()) {
+    // Idle→busy edge: rebase the event clock at the start of each busy
+    // period. This both forfeits tokens banked while the queue was empty
+    // (an idle server must not save capacity for a later burst) and keeps
+    // `elapsed * drain_rate_pps` proportional to the busy period instead of
+    // the stream lifetime — against a fixed t0_ the product eventually
+    // passes 2^53, where doubles stop resolving single tokens and the gate
+    // silently freezes or over-admits on long horizons.
+    t0_ = p.ts;
+    drained_ = 0;
+  }
 
   const std::size_t queued = queue_.size() - head_;
   if (queued < cfg_.queue_capacity) {
@@ -134,33 +143,46 @@ ShedResult shed_overload(const traffic::Trace& trace, const OverloadConfig& cfg)
 }
 
 traffic::Trace pump_through_ring(const traffic::Trace& trace, std::size_t ring_capacity,
-                                 RingPumpStats& stats) {
+                                 RingPumpStats& stats, std::size_t produce_count) {
   SpscRing<traffic::Packet> ring(ring_capacity);
+  const std::size_t to_produce = std::min(produce_count, trace.size());
   traffic::Trace out;
-  out.packets.reserve(trace.size());
+  out.packets.reserve(to_produce);
 
   std::uint64_t push_retries = 0;
   std::thread producer([&] {
-    for (const auto& p : trace.packets) {
-      while (!ring.try_push(p)) {
+    for (std::size_t i = 0; i < to_produce; ++i) {
+      while (!ring.try_push(trace.packets[i])) {
         ++push_retries;  // backpressure: spin, never drop
         std::this_thread::yield();
       }
     }
+    ring.close();
   });
 
+  // Drain until the producer closes the ring and the residue is popped.
+  // Keying the exit on the close signal instead of an expected count means a
+  // producer that stops early (truncated source, shutdown) ends the pump
+  // instead of live-locking the consumer.
   traffic::Packet p;
-  while (out.packets.size() < trace.size()) {
+  for (;;) {
     if (ring.try_pop(p)) {
       out.packets.push_back(p);
-    } else {
-      ++stats.pop_retries;
-      std::this_thread::yield();
+      continue;
     }
+    if (ring.closed()) {
+      // close() is stored after the final push; re-check once after
+      // observing it so that push cannot be missed.
+      if (!ring.try_pop(p)) break;
+      out.packets.push_back(p);
+      continue;
+    }
+    ++stats.pop_retries;
+    std::this_thread::yield();
   }
   producer.join();
 
-  stats.pushed += trace.size();
+  stats.pushed += to_produce;
   stats.popped += out.packets.size();
   stats.push_retries += push_retries;
   return out;

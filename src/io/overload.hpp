@@ -114,7 +114,12 @@ struct RingPumpStats {
   std::uint64_t push_retries = 0;
   std::uint64_t pop_retries = 0;
 };
+/// `produce_count` caps how many packets the producer pushes before closing
+/// the ring (default: the whole trace). The consumer exits on the ring's
+/// close signal, not on an expected count, so a producer that stops early —
+/// a truncated source, a shutdown — ends the pump instead of live-locking.
 traffic::Trace pump_through_ring(const traffic::Trace& trace, std::size_t ring_capacity,
-                                 RingPumpStats& stats);
+                                 RingPumpStats& stats,
+                                 std::size_t produce_count = static_cast<std::size_t>(-1));
 
 }  // namespace iguard::io

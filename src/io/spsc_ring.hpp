@@ -55,6 +55,19 @@ class SpscRing {
     return true;
   }
 
+  /// Producer side: publish end-of-stream. The release store pairs with the
+  /// acquire load in closed(), so every push that happened before the close
+  /// is visible to a consumer that observes closed() == true. The close is
+  /// sticky — there is no reopen — which is what makes it a safe shutdown
+  /// signal: a consumer that sees closed() and then drains to empty has seen
+  /// every packet the producer will ever push.
+  void close() { closed_.store(true, std::memory_order_release); }
+
+  /// Consumer side. Drain protocol: on a failed try_pop, check closed();
+  /// if set, one more try_pop decides — another failure means the stream is
+  /// finished (nothing can be in flight past a close).
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
   std::size_t capacity() const { return buf_.size(); }
 
   /// Racy size estimate — exact only when both sides are quiescent.
@@ -67,6 +80,7 @@ class SpscRing {
   std::size_t mask_;
   alignas(64) std::atomic<std::size_t> head_{0};  // consumer cursor
   alignas(64) std::atomic<std::size_t> tail_{0};  // producer cursor
+  alignas(64) std::atomic<bool> closed_{false};   // producer end-of-stream flag
 };
 
 }  // namespace iguard::io

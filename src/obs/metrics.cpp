@@ -191,6 +191,42 @@ std::string to_csv(const MetricsSnapshot& s) {
   return os.str();
 }
 
+namespace {
+
+/// "pipeline.shard0.path.red" -> "iguard_pipeline_shard0_path_red". The
+/// prefix keeps names starting with a letter; mapping every character the
+/// exposition format forbids to '_' is lossy ("a.b" and "a_b" collide) but
+/// registry keys only ever use [a-z0-9._], so no instrument collides.
+std::string prometheus_name(const std::string& key) {
+  std::string out;
+  out.reserve(key.size() + 7);
+  out += "iguard_";
+  for (const char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& s) {
+  std::ostringstream os;
+  for (const auto& [k, v] : s.scalars) {
+    const std::string name = prometheus_name(k);
+    os << "# TYPE " << name << " untyped\n" << name << " " << format_value(v) << "\n";
+  }
+  for (const auto& [k, rows] : s.series) {
+    const std::string name = prometheus_name(k);
+    os << "# TYPE " << name << " untyped\n";
+    for (const auto& [idx, v] : rows) {
+      os << name << "{event=\"" << idx << "\"} " << format_value(v) << "\n";
+    }
+  }
+  return os.str();
+}
+
 ScopeTimerNs::ScopeTimerNs(Histogram h) : h_(h) {
   if (h_.active()) {
     t0_ = static_cast<std::uint64_t>(

@@ -251,6 +251,17 @@ MetricsSnapshot without_prefixes(const MetricsSnapshot& s,
 std::string to_json(const MetricsSnapshot& s);
 std::string to_csv(const MetricsSnapshot& s);
 
+/// Prometheus text exposition (text format 0.0.4 subset) of a snapshot: a
+/// `# TYPE <name> untyped` line then `<name> <value>` per scalar, and one
+/// labelled sample per retained series row (`<name>{event="<idx>"} <value>`).
+/// Names are `iguard_` + the key with every character outside
+/// [a-zA-Z0-9_:] mapped to '_', so "timing.*" keys surface as
+/// `iguard_timing_*` and scrape gates can strip those lines the way the
+/// JSON gates strip the "timing." prefix. Rendering is byte-deterministic:
+/// sorted keys (map order) and the same fixed-precision value formatting as
+/// to_json.
+std::string to_prometheus(const MetricsSnapshot& s);
+
 /// Default log-spaced nanosecond bounds for wall-clock latency histograms.
 std::span<const double> default_latency_bounds_ns();
 /// Default bounds (seconds) for simulated control-plane install latency.

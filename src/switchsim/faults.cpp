@@ -43,8 +43,16 @@ std::string validate_config(const FaultConfig& cfg) {
   for (const auto& w : cfg.bursts) {
     if (!(err = check_nonneg("bursts.start_s", w.start_s)).empty()) return err;
     if (!(err = check_nonneg("bursts.duration_s", w.duration_s)).empty()) return err;
-    if (std::isnan(w.multiplier) || std::isinf(w.multiplier)) {
-      return "bursts.multiplier: must be finite (got " + std::to_string(w.multiplier) + ")";
+    // The mangler casts the (product of overlapping) multipliers to a
+    // uint64 copy count; a negative or non-finite value would be UB at
+    // that cast, and anything past kMaxBurstMultiplier is a copy bomb, not
+    // a burst model. Sub-1 values stay legal — burst_multiplier_at clamps
+    // them up to 1 (a window can only add load, never shed it).
+    if (std::isnan(w.multiplier) || std::isinf(w.multiplier) || w.multiplier < 0.0 ||
+        w.multiplier > kMaxBurstMultiplier) {
+      return "bursts.multiplier: must be finite and in [0, " +
+             std::to_string(static_cast<std::uint64_t>(kMaxBurstMultiplier)) + "] (got " +
+             std::to_string(w.multiplier) + ")";
     }
   }
   return {};

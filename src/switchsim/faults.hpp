@@ -109,6 +109,12 @@ struct BurstWindow {
   double end_s() const { return start_s + duration_s; }
 };
 
+/// Largest per-window burst multiplier validate_config accepts. The mangler
+/// turns the (product of overlapping windows') multiplier into a uint64
+/// record copy count, so the bound keeps that cast defined and the record
+/// amplification bounded; chaos.cpp additionally clamps the product.
+inline constexpr double kMaxBurstMultiplier = 1e9;
+
 /// Deterministic fault programme. Everything is off by default; a
 /// default-constructed config is the perfect-channel model.
 struct FaultConfig {

@@ -322,6 +322,11 @@ SimStats Pipeline::run(const traffic::Trace& trace) {
   } else {
     for (const auto& p : trace.packets) process(p, stats);
   }
+  finish_stream(stats);
+  return stats;
+}
+
+void Pipeline::finish_stream(SimStats& stats) {
   controller_.flush();
   if (swap_ != nullptr) {
     // The flush above may have delivered late mirrors that triggered one
@@ -333,7 +338,12 @@ SimStats Pipeline::run(const traffic::Trace& trace) {
   const std::size_t leaked = stats.faults.leaked_packets;
   stats.faults = controller_.fault_stats();
   stats.faults.leaked_packets = leaked;
-  return stats;
+}
+
+bool Pipeline::request_model_publish(double ts_s) {
+  if (swap_ == nullptr) return false;
+  swap_->request_publish(ts_s);
+  return true;
 }
 
 }  // namespace iguard::switchsim

@@ -166,6 +166,19 @@ class Pipeline {
   /// digest the trace produced.
   SimStats run(const traffic::Trace& trace);
 
+  /// End-of-stream epilogue for callers that feed packets incrementally
+  /// (the serving daemon) instead of through run(): drain the control
+  /// plane, make any pending model publish live, rebind the final bundle,
+  /// and fold the controller/swap accounting into `stats` (preserving the
+  /// per-packet leaked_packets the caller accumulated). run() itself ends
+  /// with exactly this call.
+  void finish_stream(SimStats& stats);
+
+  /// Operator-triggered model rebuild+publish (config reload): stages the
+  /// next bundle version through the hitless swap path at event time
+  /// `ts_s`. Returns false when the swap loop is disabled.
+  bool request_model_publish(double ts_s);
+
   /// Drain all in-flight control-plane work (see Controller::flush).
   void flush_control_plane() { controller_.flush(); }
 

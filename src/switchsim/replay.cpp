@@ -88,6 +88,7 @@ SimStats merge_stats(const std::vector<SimStats>& parts) {
     out.swap.drift_vote_shift += s.swap.drift_vote_shift;
     out.swap.drift_rejected_slope += s.swap.drift_rejected_slope;
     out.swap.rebuilds += s.swap.rebuilds;
+    out.swap.operator_requests += s.swap.operator_requests;
     out.swap.incremental_publishes += s.swap.incremental_publishes;
     out.swap.publishes += s.swap.publishes;
     out.swap.publishes_deferred_by_crash += s.swap.publishes_deferred_by_crash;

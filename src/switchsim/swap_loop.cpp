@@ -103,6 +103,14 @@ void SwapLoop::on_benign_mirror(const BenignMirror& m, double deliver_ts_s) {
   }
 }
 
+void SwapLoop::request_publish(double ts_s) {
+  ++stats_.operator_requests;
+  // An operator request runs the configured rebuilder (like a drift fire):
+  // a reload wants the staged extensions and retained rows folded into the
+  // next version, not just a recompile of the live tables.
+  trigger_publish(/*drift_triggered=*/true, ts_s);
+}
+
 void SwapLoop::trigger_publish(bool drift_triggered, double ts_s) {
   if (pending_.has_value()) {
     // One version in flight at a time; the pending publish will already

@@ -55,6 +55,7 @@ struct SwapStats {
   std::size_t drift_vote_shift = 0;
   std::size_t drift_rejected_slope = 0;
   std::size_t rebuilds = 0;              // drift-triggered rebuilder runs
+  std::size_t operator_requests = 0;     // request_publish calls (config reload)
   std::size_t incremental_publishes = 0; // extension-threshold recompiles
   std::size_t publishes = 0;             // versions made live (all kinds)
   std::size_t publishes_deferred_by_crash = 0;
@@ -83,6 +84,15 @@ class SwapLoop final : public WhitelistUpdateSink {
 
   /// WhitelistUpdateSink: one delivered benign mirror (event-clocked).
   void on_benign_mirror(const BenignMirror& m, double deliver_ts_s) override;
+
+  /// Operator-triggered rebuild+publish (config reload, SIGHUP): stage the
+  /// next version through the same pending-publish path a drift fire takes —
+  /// built by the configured rebuilder, due swap_latency_s after `ts_s` on
+  /// the event clock, deferred past crash windows, coalesced if a publish is
+  /// already in flight. The swap stays hitless: in-flight packets keep their
+  /// pinned bundle, and the pipeline picks the new version up at its next
+  /// pin.
+  void request_publish(double ts_s);
 
   /// End-of-run drain: publish anything still pending (its due time has
   /// arrived from the run's perspective), release the pin, reclaim retired

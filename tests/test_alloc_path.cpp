@@ -6,8 +6,12 @@
 // alloc_counter.hpp (it replaces the global operator new).
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
+#include "daemon/daemon.hpp"
 #include "harness/alloc_counter.hpp"
 #include "ml/compiled_forest.hpp"
 #include "switchsim/pipeline.hpp"
@@ -286,6 +290,64 @@ TEST_F(AllocPathTest, ForestAndTableBatchKernelsAllocateNothing) {
     comp.classify_batch(fl_keys, kSwitchFlFeatures, fl_votes);
   }
   EXPECT_EQ(harness::alloc_count() - before, 0u);
+}
+
+TEST_F(AllocPathTest, DaemonDrainIsAllocationFreeOnceWarm) {
+  if (!harness::alloc_counting_active()) {
+    GTEST_SKIP() << "sanitizer build owns the allocator";
+  }
+  // The serving daemon's consumer packet path (ring pop -> shard_of ->
+  // Pipeline::process -> alert cadence check) extends the zero-allocation
+  // invariant to the daemon loop: once the first replay pass has warmed
+  // every flow, drain_some() must be heap-silent. The producer side is
+  // allowed to allocate per *batch* (reader results), never per packet, so
+  // the probe brackets only the drain calls.
+  traffic::Trace t;
+  double ts = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    for (int f = 0; f < 8; ++f) {
+      const bool mal = f % 3 == 0;
+      t.packets.push_back(mk(ts += 0.0005, mal ? 1400 : 100,
+                             static_cast<std::uint32_t>(10 + f),
+                             static_cast<std::uint16_t>(1000 + f), mal));
+    }
+  }
+  const std::string path = ::testing::TempDir() + "alloc_daemon_trace.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << io::trace_to_csv(t);
+  }
+
+  daemon::DaemonConfig cfg;
+  cfg.source.path = path;
+  cfg.source.loops = 2;
+  cfg.ring_capacity = 4096;  // holds a full pass: pump never drains inline
+  cfg.pipeline.packet_threshold_n = 4;
+  cfg.pipeline.idle_timeout_delta = 1e9;
+  daemon::Daemon d(cfg, model());
+
+  // Pass 1 (uncounted): every flow classifies — benign to purple, the
+  // malicious ones through blacklist installs to red.
+  while (d.stats().loops_completed < 1) {
+    d.pump_once();
+    d.drain_some(static_cast<std::size_t>(-1));
+  }
+
+  // Pass 2: the same flows replayed warm; only the drains are counted.
+  std::size_t counted = 0, allocs = 0;
+  for (;;) {
+    const daemon::Daemon::PumpStatus st = d.pump_once();
+    const std::size_t before = harness::alloc_count();
+    counted += d.drain_some(static_cast<std::size_t>(-1));
+    allocs += harness::alloc_count() - before;
+    if (st == daemon::Daemon::PumpStatus::kDone) break;
+  }
+  EXPECT_GT(counted, 0u);
+  EXPECT_EQ(allocs, 0u) << "daemon drain allocated " << allocs << " times";
+
+  d.finalize();
+  EXPECT_EQ(daemon::audit_daemon_conservation(d.stats()), "");
+  std::remove(path.c_str());
 }
 
 TEST_F(AllocPathTest, RecordLabelsOnIsTheOnlySteadyStateAllocator) {
