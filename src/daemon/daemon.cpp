@@ -275,7 +275,7 @@ void Daemon::ingest_batch(std::string& bytes) {
 }
 
 void Daemon::finish_producer() {
-  if (producer_done_) return;
+  if (producer_done_.load(std::memory_order_relaxed)) return;
   if (framer_.pending_bytes() > 0 && framer_.take_tail(batch_buf_) > 0) {
     ingest_batch(batch_buf_);
   }
@@ -283,7 +283,7 @@ void Daemon::finish_producer() {
   push_admitted();
   producer_alert_scan();
   ring_.close();
-  producer_done_ = true;
+  producer_done_.store(true, std::memory_order_release);
 }
 
 bool Daemon::next_loop_or_finish() {
@@ -307,7 +307,7 @@ bool Daemon::next_loop_or_finish() {
 }
 
 Daemon::PumpStatus Daemon::pump_once() {
-  if (producer_done_) return PumpStatus::kDone;
+  if (producer_done_.load(std::memory_order_relaxed)) return PumpStatus::kDone;
   apply_pending_gate_reload();
   if (stop_.load(std::memory_order_relaxed)) {
     finish_producer();
@@ -413,8 +413,12 @@ void Daemon::apply_pending_gate_reload() {
   }
   // Retire the old gate without losing a packet: its queue is flushed into
   // the ring (counted admitted), its stats fold into the cumulative base.
+  // The flush/push runs unlocked — inline drain can re-enter reload_mu_ via
+  // apply_pending_model_reload; only the swap and cfg_ writes need the lock
+  // (config_snapshot()/stats() read them from other threads).
   gate_->flush(admit_buf_);
   push_admitted();
+  const std::lock_guard<std::mutex> lock(reload_mu_);
   accumulate(gate_base_, gate_->stats());
   gate_ = std::make_unique<io::OverloadGate>(oc);
   cfg_.overload = oc;
@@ -447,7 +451,13 @@ void Daemon::apply_pending_model_reload() {
 
 std::string Daemon::request_reload(const DaemonConfig& next) {
   std::string err = validate_config(next);
-  if (err.empty()) err = reload_incompatibility(cfg_, next);
+  if (err.empty() && producer_done_.load(std::memory_order_acquire)) {
+    // Nothing will ever reach the reload safe points again: the producer
+    // stopped pumping and run() has drained. Accepting would stage halves
+    // that are silently never applied.
+    err = "source: finished (restart required to reload)";
+  }
+  if (err.empty()) err = reload_incompatibility(config_snapshot(), next);
   if (!err.empty()) {
     {
       const std::lock_guard<std::mutex> lock(reload_mu_);
@@ -470,7 +480,7 @@ void Daemon::request_stop() { stop_.store(true, std::memory_order_relaxed); }
 
 void Daemon::finalize() {
   if (finalized_) return;
-  if (!producer_done_) finish_producer();
+  if (!producer_done_.load(std::memory_order_relaxed)) finish_producer();
   while (drain_some(1024) > 0) {
   }
   consumer_alert_scan();
@@ -526,10 +536,21 @@ void Daemon::run_synchronous() {
 
 DaemonStats Daemon::stats() const {
   DaemonStats s = stats_;
-  s.gate = gate_base_;
-  accumulate(s.gate, gate_->stats());
+  {
+    // The gate unique_ptr is swapped by apply_pending_gate_reload under this
+    // lock; reading it unlocked would be a use-after-free, not merely the
+    // documented best-effort racy counter read.
+    const std::lock_guard<std::mutex> lock(reload_mu_);
+    s.gate = gate_base_;
+    accumulate(s.gate, gate_->stats());
+  }
   if (!finalized_) s.sim = switchsim::merge_stats(sim_);
   return s;
+}
+
+DaemonConfig Daemon::config_snapshot() const {
+  const std::lock_guard<std::mutex> lock(reload_mu_);
+  return cfg_;
 }
 
 std::string Daemon::metrics_text() const {

@@ -161,8 +161,10 @@ class Daemon {
   bool stop_requested() const { return stop_.load(std::memory_order_relaxed); }
 
   /// Re-validate `next` and stage it for hot application. Returns empty on
-  /// acceptance; otherwise the rejection reason (invalid config, or a
-  /// structural change that needs a restart). Callable from any thread.
+  /// acceptance; otherwise the rejection reason (invalid config, a
+  /// structural change that needs a restart, or a source that already
+  /// finished — nothing would ever apply the staged halves). Callable from
+  /// any thread.
   std::string request_reload(const DaemonConfig& next);
 
   /// End-of-stream epilogue; idempotent. run()/run_synchronous() call it —
@@ -176,7 +178,9 @@ class Daemon {
 
   const AlertLog& alerts() const { return alerts_; }
   const io::QuarantineRing& quarantine() const { return quarantine_; }
-  const DaemonConfig& config() const { return cfg_; }
+  /// Copy of the effective config, taken under the reload lock — safe to
+  /// call from any thread while the serving threads hot-apply reloads.
+  DaemonConfig config_snapshot() const;
   /// Prometheus text exposition of the attached registry ("" when none).
   std::string metrics_text() const;
 
@@ -206,7 +210,9 @@ class Daemon {
   std::vector<traffic::Packet> admit_buf_;  // gate output (reused)
   double time_offset_ = 0.0;       // looped-replay event-time shift
   double producer_ts_ = 0.0;       // last offered (shifted) timestamp
-  bool producer_done_ = false;
+  /// Atomic because request_reload (any thread) reads it to reject reloads
+  /// that nothing would ever apply once the source has finished.
+  std::atomic<bool> producer_done_{false};
   std::uint64_t alert_quarantined_seen_ = 0;
   std::uint64_t alert_shed_seen_ = 0;
 
@@ -231,7 +237,11 @@ class Daemon {
   AlertLog alerts_;
   io::QuarantineRing quarantine_;  // persistent copy of per-batch quarantines
   std::atomic<bool> stop_{false};
-  std::mutex reload_mu_;
+  /// Guards pending_reload_, the gate_ swap (and gate_base_ fold), and the
+  /// hot-applied cfg_ fields — so config_snapshot()/stats() can read them
+  /// from any thread while the serving threads apply a reload. Mutable: the
+  /// const snapshot accessors lock it.
+  mutable std::mutex reload_mu_;
   std::unique_ptr<DaemonConfig> pending_reload_;   // staged by request_reload
   std::atomic<bool> reload_gate_pending_{false};
   std::atomic<bool> reload_model_pending_{false};

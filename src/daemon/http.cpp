@@ -13,17 +13,28 @@ namespace iguard::daemon {
 
 namespace {
 
-/// Write the whole buffer, riding out EINTR / partial writes.
+/// Write the whole buffer, riding out EINTR / partial writes. MSG_NOSIGNAL:
+/// a peer that disconnects mid-response (curl timeout, prober closing early)
+/// must yield EPIPE here, not a process-killing SIGPIPE.
 void write_all(int fd, const char* data, std::size_t len) {
   std::size_t off = 0;
   while (off < len) {
-    const ssize_t n = ::write(fd, data + off, len - off);
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<std::size_t>(n);
     } else if (n < 0 && errno != EINTR) {
-      return;  // peer went away; nothing useful to do
+      return;  // EPIPE/ECONNRESET/timeout: peer went away; nothing useful to do
     }
   }
+}
+
+/// Bound every socket op on an accepted connection so a silent or stalled
+/// peer cannot pin serve_loop (and therefore stop()) forever.
+void set_io_timeouts(int fd) {
+  timeval tv{};
+  tv.tv_sec = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 }  // namespace
@@ -82,8 +93,11 @@ void HttpServer::serve_loop() {
       if (errno == EINTR) continue;
       break;  // listening socket was shut down
     }
+    set_io_timeouts(conn);
     // Read until the end of the request head; the request line is all we
     // use, and it cannot span more than this bound in a legitimate scrape.
+    // A receive timeout (EAGAIN) falls out of the loop: the connection gets
+    // a 400 and serve_loop returns to accept() instead of blocking stop().
     std::string req;
     char buf[1024];
     while (req.size() < 8192 && req.find("\r\n") == std::string::npos) {

@@ -190,6 +190,9 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, on_stop_signal);
   std::signal(SIGINT, on_stop_signal);
   std::signal(SIGHUP, on_hup_signal);
+  // A scraper that disconnects mid-response (or a broken stdout pipe) must
+  // surface as EPIPE on the write, not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
 
   BootstrapModel model;
   daemon::Daemon d(cfg, model.dm);
@@ -241,7 +244,7 @@ int main(int argc, char** argv) {
       if (config_path.empty()) {
         std::cerr << "SIGHUP ignored: no --config to re-read\n";
       } else {
-        daemon::DaemonConfig next = d.config();
+        daemon::DaemonConfig next = d.config_snapshot();
         next.metrics = cfg.metrics;
         std::string err = daemon::load_config_file(config_path, next);
         if (err.empty()) err = d.request_reload(next);

@@ -86,7 +86,9 @@ Series Registry::series(std::string_view name, std::size_t capacity, std::uint64
   auto s = std::make_unique<detail::SeriesData>();
   s->name = std::string(name);
   s->every_n = every_n == 0 ? 1 : every_n;
-  s->samples.resize(capacity);
+  // Sized construction, not resize(): the atomic-bearing slots are neither
+  // copyable nor movable, and the capacity never changes afterwards.
+  s->samples = std::vector<detail::SeriesData::Slot>(capacity);
   series_.push_back(std::move(s));
   return Series{series_.back().get()};
 }
@@ -121,7 +123,15 @@ MetricsSnapshot Registry::snapshot() const {
     out.scalars[s->name + ".dropped"] =
         static_cast<double>(s->dropped.load(std::memory_order_relaxed));
     auto& rows = out.series[s->name];
-    rows.assign(s->samples.begin(), s->samples.begin() + static_cast<std::ptrdiff_t>(n));
+    rows.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      // Acquire pairs with the release publish in observe(): a zero event
+      // index means the slot was reserved but not yet fully written — skip
+      // it rather than tear-read a half-stored sample.
+      const std::uint64_t e = s->samples[i].event.load(std::memory_order_acquire);
+      if (e == 0) continue;
+      rows.emplace_back(e, s->samples[i].value.load(std::memory_order_relaxed));
+    }
   }
   return out;
 }

@@ -96,9 +96,20 @@ struct HistogramData {
 };
 
 struct SeriesData {
+  /// One preallocated sample slot. `event` doubles as the publish flag:
+  /// observe() stores the value first, then the (always nonzero) event index
+  /// with release — a snapshot that acquires a nonzero event is guaranteed a
+  /// fully written value, and skips slots still being filled. Without this
+  /// protocol a live scrape (the daemon's /metrics thread) could tear-read a
+  /// slot the serving thread is mid-write on.
+  struct Slot {
+    std::atomic<std::uint64_t> event{0};  // 0 = not yet published
+    std::atomic<double> value{0.0};
+  };
+
   std::string name;
   std::uint64_t every_n = 1;
-  std::vector<std::pair<std::uint64_t, double>> samples;  // preallocated
+  std::vector<Slot> samples;  // preallocated
   std::atomic<std::uint64_t> events{0};
   std::atomic<std::uint64_t> write_idx{0};
   std::atomic<std::uint64_t> dropped{0};
@@ -108,7 +119,8 @@ struct SeriesData {
     if (every_n == 0 || n % every_n != 0) return;
     const std::uint64_t i = write_idx.fetch_add(1, std::memory_order_relaxed);
     if (i < samples.size()) {
-      samples[i] = {n, v};
+      samples[i].value.store(v, std::memory_order_relaxed);
+      samples[i].event.store(n, std::memory_order_release);
     } else {
       dropped.fetch_add(1, std::memory_order_relaxed);
     }

@@ -11,11 +11,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "daemon/config_file.hpp"
@@ -393,7 +395,7 @@ TEST(Daemon, HotReloadMidStreamKeepsEveryPacket) {
     d.pump_once();
     d.drain_some(static_cast<std::size_t>(-1));
   }
-  DaemonConfig next = d.config();
+  DaemonConfig next = d.config_snapshot();
   next.overload.drain_rate_pps = 400000.0;
   EXPECT_EQ(d.request_reload(next), "");
   for (;;) {
@@ -407,7 +409,7 @@ TEST(Daemon, HotReloadMidStreamKeepsEveryPacket) {
   EXPECT_EQ(audit_daemon_conservation(s), "");  // no loss across the reload
   EXPECT_EQ(s.reloads_applied, 1u);
   EXPECT_EQ(s.reloads_rejected, 0u);
-  EXPECT_EQ(d.config().overload.drain_rate_pps, 400000.0);
+  EXPECT_EQ(d.config_snapshot().overload.drain_rate_pps, 400000.0);
   // The model half went through each shard's hitless swap loop and the
   // rebuilt version was published.
   EXPECT_EQ(s.sim.swap.operator_requests, 2u);
@@ -423,13 +425,13 @@ TEST(Daemon, StructuralReloadIsRejectedWithAReason) {
   DaemonConfig cfg = base_config(path);
   Daemon d(cfg, model.dm);
 
-  DaemonConfig next = d.config();
+  DaemonConfig next = d.config_snapshot();
   next.shards = 4;
   const std::string reason = d.request_reload(next);
   EXPECT_NE(reason.find("shards"), std::string::npos);
   EXPECT_NE(reason.find("restart"), std::string::npos);
 
-  DaemonConfig bad = d.config();
+  DaemonConfig bad = d.config_snapshot();
   bad.ring_capacity = 0;
   EXPECT_FALSE(d.request_reload(bad).empty());
 
@@ -560,6 +562,98 @@ TEST(HttpServer, ServesHandlerBodiesOnLoopback) {
   EXPECT_EQ(srv.requests(), 2u);
   srv.stop();
   EXPECT_FALSE(srv.running());
+}
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Regression: a peer that disconnects before reading the response used to
+// raise SIGPIPE on the server's next write, whose default action terminates
+// the whole process. The body is sized well past any socket buffer so the
+// write genuinely hits the dead connection.
+TEST(HttpServer, SurvivesPeerDisconnectMidResponse) {
+  HttpServer srv;
+  const std::string big(4u << 20, 'x');
+  ASSERT_EQ(srv.start(0, [&](const std::string& p) {
+    HttpResponse r;
+    r.body = p == "/big" ? big : "ok\n";
+    return r;
+  }),
+            "");
+
+  const int fd = connect_loopback(srv.port());
+  ASSERT_GE(fd, 0);
+  const std::string req = "GET /big HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::send(fd, req.data(), req.size(), 0), static_cast<ssize_t>(req.size()));
+  ::close(fd);  // walk away without reading the 4 MB response
+
+  // The serving thread must still be alive and able to answer.
+  const int fd2 = connect_loopback(srv.port());
+  ASSERT_GE(fd2, 0);
+  const std::string req2 = "GET /ping HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::send(fd2, req2.data(), req2.size(), 0), static_cast<ssize_t>(req2.size()));
+  std::string resp;
+  char buf[256];
+  ssize_t n = 0;
+  while ((n = ::read(fd2, buf, sizeof(buf))) > 0) resp.append(buf, static_cast<std::size_t>(n));
+  ::close(fd2);
+  EXPECT_NE(resp.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("\r\n\r\nok\n"), std::string::npos);
+  srv.stop();
+}
+
+// Regression: stop() used to block forever when a client connected and sent
+// nothing — serve_loop sat in a timeout-less read() and never returned to
+// accept(). The receive timeout bounds that wait.
+TEST(HttpServer, StopReturnsDespiteIdleConnection) {
+  HttpServer srv;
+  ASSERT_EQ(srv.start(0, [](const std::string&) { return HttpResponse{}; }), "");
+
+  const int fd = connect_loopback(srv.port());
+  ASSERT_GE(fd, 0);
+  // Give the serving thread a moment to accept and enter the head read.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  srv.stop();  // hung forever before the fix; now bounded by SO_RCVTIMEO
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(waited).count(), 5);
+  EXPECT_FALSE(srv.running());
+  ::close(fd);
+}
+
+// Regression: a reload accepted after a finite source completed was silently
+// never applied — no pump/drain step runs again to reach the safe points, so
+// reloads_applied stayed 0 with no kReload alert despite the "" acceptance.
+TEST(Daemon, ReloadAfterSourceFinishedIsRejected) {
+  Model model;
+  const std::string path =
+      write_temp("daemon_late_reload.csv", io::trace_to_csv(make_trace(6, 4)));
+  DaemonConfig cfg = base_config(path);
+  Daemon d(cfg, model.dm);
+  d.run_synchronous();
+
+  DaemonConfig next = d.config_snapshot();
+  next.overload.drain_rate_pps = 123456.0;
+  const std::string reason = d.request_reload(next);
+  EXPECT_NE(reason.find("finished"), std::string::npos);
+  EXPECT_NE(reason.find("restart"), std::string::npos);
+
+  const DaemonStats s = d.stats();
+  EXPECT_EQ(s.reloads_applied, 0u);
+  EXPECT_EQ(s.reloads_rejected, 1u);
+  EXPECT_EQ(audit_daemon_conservation(s), "");
 }
 
 }  // namespace
